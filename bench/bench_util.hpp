@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared scaffolding for the figure/table reproduction binaries.
+ */
+
+#ifndef QC_BENCH_BENCH_UTIL_HPP
+#define QC_BENCH_BENCH_UTIL_HPP
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "support/table.hpp"
+
+namespace qc::bench {
+
+/** Default seed; override with env QC_BENCH_SEED. */
+inline std::uint64_t
+benchSeed()
+{
+    if (const char *s = std::getenv("QC_BENCH_SEED"))
+        return std::strtoull(s, nullptr, 10);
+    return 20190131; // paper's arXiv date
+}
+
+/** Monte-Carlo trials; override with env QC_BENCH_TRIALS. */
+inline int
+benchTrials()
+{
+    if (const char *s = std::getenv("QC_BENCH_TRIALS"))
+        return std::atoi(s);
+    return kBenchTrials;
+}
+
+/** Print the standard experiment banner. */
+inline void
+banner(const std::string &what, std::uint64_t seed)
+{
+    std::cout << "=== " << what << " ===\n"
+              << "machine: synthetic IBMQ16 (2x8 grid), seed " << seed
+              << "\n\n";
+}
+
+} // namespace qc::bench
+
+#endif // QC_BENCH_BENCH_UTIL_HPP

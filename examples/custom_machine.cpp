@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Custom machine: build your own topology and calibration data (e.g.
+ * from a vendor's published device properties) and compare every
+ * compiler variant on it. Demonstrates that the library is not tied
+ * to the IBMQ16 instance.
+ *
+ * The example models a 4x4 grid with one "bad corner": a cluster of
+ * noisy qubits and links that a noise-adaptive mapper must avoid.
+ */
+
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "support/table.hpp"
+
+int
+main()
+{
+    using namespace qc;
+
+    // 1. Topology: a 16-qubit 4x4 grid.
+    GridTopology topo(4, 4);
+
+    // 2. Hand-built calibration: a good machine with a bad corner.
+    Calibration cal;
+    cal.t1Us.assign(16, 90.0);
+    cal.t2Us.assign(16, 75.0);
+    cal.readoutError.assign(16, 0.03);
+    cal.cnotError.assign(static_cast<size_t>(topo.numEdges()), 0.02);
+    cal.cnotDuration.assign(static_cast<size_t>(topo.numEdges()), 9);
+    cal.oneQubitError = 0.001;
+    cal.oneQubitDuration = 1;
+    cal.readoutDuration = 12;
+    // Corner (rows 0-1, cols 0-1) is poor: noisy readout + links.
+    for (int x = 0; x < 2; ++x) {
+        for (int y = 0; y < 2; ++y) {
+            HwQubit h = topo.qubitAt(x, y);
+            cal.readoutError[h] = 0.22;
+            cal.t2Us[h] = 25.0;
+            for (HwQubit n : topo.neighbors(h))
+                cal.cnotError[topo.edgeBetween(h, n)] = 0.15;
+        }
+    }
+    cal.validate(topo);
+    Machine machine(topo, cal);
+
+    // 3. Compile the Toffoli kernel with every variant and measure.
+    Benchmark bench = benchmarkByName("Toffoli");
+    Table t({"Mapper", "Success rate", "Duration", "SWAPs",
+             "Uses bad corner?"});
+    for (MapperKind kind :
+         {MapperKind::Qiskit, MapperKind::TSmt, MapperKind::TSmtStar,
+          MapperKind::RSmtStar, MapperKind::GreedyV,
+          MapperKind::GreedyE}) {
+        CompilerOptions opts;
+        opts.mapper = kind;
+        opts.smtTimeoutMs = 20'000;
+        MeasuredRun run = runMeasured(machine, bench, opts, 4096, 11);
+
+        bool bad_corner = false;
+        for (HwQubit h : run.compiled.layout) {
+            GridPos p = topo.posOf(h);
+            bad_corner = bad_corner || (p.x < 2 && p.y < 2);
+        }
+        t.addRow({run.mapper, Table::fmt(run.execution.successRate),
+                  Table::fmt(static_cast<long long>(
+                      run.compiled.duration)),
+                  Table::fmt(static_cast<long long>(
+                      run.compiled.swapCount)),
+                  bad_corner ? "yes" : "no"});
+    }
+    t.print(std::cout);
+    std::cout << "\nCalibration-aware mappers (starred) steer clear of "
+                 "the bad corner; the\nbaseline and T-SMT walk right "
+                 "into it.\n";
+    return 0;
+}

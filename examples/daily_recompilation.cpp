@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Daily recompilation: the paper's core operational insight (Sec. 7,
+ * Fig. 6). Machine error rates drift every calibration cycle; a
+ * mapping frozen on day 0 degrades, while recompiling against each
+ * day's calibration data tracks the machine.
+ *
+ * Compares, over 10 days of drifting calibration:
+ *  - "frozen":     R-SMT* compiled once on day 0, re-run every day,
+ *  - "recompiled": R-SMT* recompiled each day,
+ *  - "static":     T-SMT* (calibration-blind durations-only mapping).
+ */
+
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "support/table.hpp"
+
+int
+main()
+{
+    using namespace qc;
+
+    const std::uint64_t seed = 20190131;
+    const int days = 10;
+    const int trials = 2048;
+    ExperimentEnv env(seed);
+    Benchmark bench = benchmarkByName("Toffoli");
+
+    CompilerOptions rsmt;
+    rsmt.mapper = MapperKind::RSmtStar;
+    rsmt.smtTimeoutMs = 20'000;
+    CompilerOptions tsmt;
+    tsmt.mapper = MapperKind::TSmtStar;
+    tsmt.smtTimeoutMs = 20'000;
+
+    // Frozen mapping: compiled once against day 0.
+    Machine day0 = env.machineForDay(0);
+    auto frozen_mapper = NoiseAdaptiveCompiler::makeMapper(day0, rsmt);
+    CompiledProgram frozen = frozen_mapper->compile(bench.circuit);
+
+    Table t({"Day", "frozen day-0 map", "recompiled daily",
+             "T-SMT* (noise-blind)"});
+    double frozen_sum = 0.0, daily_sum = 0.0;
+    for (int day = 0; day < days; ++day) {
+        Machine m = env.machineForDay(day);
+
+        // The frozen schedule executes under today's real noise.
+        ExecutionOptions exec;
+        exec.trials = trials;
+        exec.seed = seed + day;
+        auto frozen_res =
+            runNoisy(m, frozen.schedule, bench.circuit.numClbits(),
+                     bench.expected, exec);
+
+        auto daily = runMeasured(m, bench, rsmt, trials, seed + day);
+        auto blind = runMeasured(m, bench, tsmt, trials, seed + day);
+
+        frozen_sum += frozen_res.successRate;
+        daily_sum += daily.execution.successRate;
+        t.addRow({Table::fmt(static_cast<long long>(day)),
+                  Table::fmt(frozen_res.successRate),
+                  Table::fmt(daily.execution.successRate),
+                  Table::fmt(blind.execution.successRate)});
+    }
+    t.print(std::cout);
+    std::cout << "\nMean success: frozen " << frozen_sum / days
+              << " vs daily recompile " << daily_sum / days
+              << "\nDaily recompilation tracks the machine's drift "
+                 "(the Fig. 6 behavior); on\nquiet stretches a frozen "
+                 "mapping can tie, but it has no protection when a\n"
+                 "previously-good link degrades — compare the "
+                 "noise-blind T-SMT* column,\nwhich cannot adapt at "
+                 "all.\n";
+    return 0;
+}

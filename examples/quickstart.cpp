@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Quickstart: compile a Bernstein-Vazirani program for a noisy 16-qubit
+ * machine with the noise-adaptive R-SMT* mapper, inspect the mapping,
+ * emit OpenQASM, and estimate the success rate on the built-in noisy
+ * simulator.
+ *
+ * Build & run:  ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "core/compiler.hpp"
+#include "core/experiment.hpp"
+#include "sim/executor.hpp"
+
+int
+main()
+{
+    using namespace qc;
+
+    // 1. A machine: the paper's IBMQ16 (2x8 grid) with synthetic
+    //    calibration data for "today" (day 0).
+    GridTopology topo = GridTopology::ibmq16();
+    CalibrationModel calibration(topo, /*seed=*/42);
+    Calibration today = calibration.forDay(0);
+
+    // 2. A program: 4-qubit Bernstein-Vazirani, which must answer the
+    //    hidden string "111".
+    Benchmark bench = makeBernsteinVazirani(4);
+    std::cout << "Program:\n" << bench.circuit.toString() << "\n";
+
+    // 3. Compile with the noise-adaptive optimal mapper (R-SMT*).
+    CompilerOptions options;
+    options.mapper = MapperKind::RSmtStar;
+    options.readoutWeight = 0.5;
+    NoiseAdaptiveCompiler compiler(topo, today, options);
+    CompiledProgram compiled = compiler.compile(bench.circuit);
+
+    std::cout << "Mapper: " << compiled.mapperName << "\n";
+    std::cout << "Layout (program qubit -> hardware qubit): ";
+    for (size_t p = 0; p < compiled.layout.size(); ++p)
+        std::cout << "p" << p << "->Q" << compiled.layout[p] << " ";
+    std::cout << "\nSWAPs inserted: " << compiled.swapCount
+              << "\nPredicted success probability: "
+              << compiled.predictedSuccess
+              << "\nSchedule makespan: " << compiled.duration
+              << " timeslots (80 ns each)"
+              << "\nCompile time: " << compiled.compileSeconds
+              << " s (solver: " << compiled.solverStatus << ")\n\n";
+
+    // 4. Ship it: IBMQ16-ready OpenQASM.
+    std::cout << "OpenQASM 2.0 executable:\n"
+              << compiler.compileToQasm(bench.circuit) << "\n";
+
+    // 5. Measure: Monte-Carlo execution under the same calibration.
+    Machine machine(topo, today);
+    ExecutionOptions exec;
+    exec.trials = 4096;
+    exec.seed = 7;
+    ExecutionResult result =
+        runNoisy(machine, compiled.schedule, bench.circuit.numClbits(),
+                 bench.expected, exec);
+    std::cout << "Measured success rate over " << result.trials
+              << " trials: " << result.successRate << " +/- "
+              << result.halfWidth95 << " (expected answer "
+              << bench.expected << ")\n";
+    return 0;
+}

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Scalability playground: compile synthetic programs of growing size
+ * with the greedy heuristics on machines up to 128 qubits — the
+ * "far-NISQ" regime where the paper recommends heuristics over SMT
+ * (Sec. 7.4, Fig. 11). Optionally pits R-SMT* against GreedyE* on the
+ * small sizes to show the compile-time gap first-hand.
+ *
+ * Usage: scalability_playground [--with-smt]
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "support/table.hpp"
+#include "workloads/random_circuits.hpp"
+
+int
+main(int argc, char **argv)
+{
+    using namespace qc;
+
+    bool with_smt = argc > 1 && std::strcmp(argv[1], "--with-smt") == 0;
+    const std::uint64_t seed = 7;
+
+    struct Size
+    {
+        int rows, cols, qubits, gates;
+    };
+    const Size sizes[] = {
+        {2, 4, 8, 256},  {2, 8, 16, 512},   {4, 8, 32, 768},
+        {8, 8, 64, 1024}, {8, 16, 128, 2048},
+    };
+
+    Table t({"Machine", "Program", "GreedyE* (s)", "GreedyV* (s)",
+             "R-SMT* (s)", "GreedyE* swaps"});
+    for (const auto &s : sizes) {
+        GridTopology topo(s.rows, s.cols);
+        CalibrationModel model(topo, seed);
+        Machine m(topo, model.forDay(0));
+
+        RandomCircuitSpec spec;
+        spec.numQubits = s.qubits;
+        spec.numGates = s.gates;
+        spec.seed = seed;
+        Circuit prog = makeRandomCircuit(spec);
+
+        CompilerOptions ge;
+        ge.mapper = MapperKind::GreedyE;
+        CompilerOptions gv;
+        gv.mapper = MapperKind::GreedyV;
+        auto ge_cp =
+            NoiseAdaptiveCompiler::makeMapper(m, ge)->compile(prog);
+        auto gv_cp =
+            NoiseAdaptiveCompiler::makeMapper(m, gv)->compile(prog);
+
+        std::string smt_cell = "(skipped; pass --with-smt)";
+        if (with_smt && s.qubits <= 16) {
+            CompilerOptions rs;
+            rs.mapper = MapperKind::RSmtStar;
+            rs.smtTimeoutMs = 15'000;
+            auto rs_cp =
+                NoiseAdaptiveCompiler::makeMapper(m, rs)->compile(prog);
+            smt_cell = Table::fmt(rs_cp.compileSeconds, 2) +
+                       (rs_cp.solverOptimal ? "" : " (capped)");
+        } else if (with_smt) {
+            smt_cell = "intractable at this size";
+        }
+
+        t.addRow({topo.name(),
+                  std::to_string(s.qubits) + "q/" +
+                      std::to_string(s.gates) + "g",
+                  Table::fmt(ge_cp.compileSeconds, 4),
+                  Table::fmt(gv_cp.compileSeconds, 4), smt_cell,
+                  Table::fmt(static_cast<long long>(ge_cp.swapCount))});
+    }
+    t.print(std::cout);
+    std::cout << "\nGreedy mapping scales to hundreds of qubits with "
+                 "sub-second compiles —\nthe paper's prescription for "
+                 "far-NISQ machines.\n";
+    return 0;
+}

@@ -1,0 +1,100 @@
+#include "compiler.hpp"
+
+#include "mappers/greedy_mapper.hpp"
+#include "mappers/qiskit_baseline.hpp"
+#include "mappers/smt_mapper.hpp"
+#include "support/logging.hpp"
+
+namespace qc {
+
+const char *
+mapperKindName(MapperKind k)
+{
+    switch (k) {
+      case MapperKind::Qiskit: return "Qiskit";
+      case MapperKind::TSmt: return "T-SMT";
+      case MapperKind::TSmtStar: return "T-SMT*";
+      case MapperKind::RSmtStar: return "R-SMT*";
+      case MapperKind::GreedyV: return "GreedyV*";
+      case MapperKind::GreedyE: return "GreedyE*";
+      case MapperKind::GreedyETrack: return "GreedyE*+track";
+    }
+    QC_PANIC("unknown mapper kind");
+}
+
+MapperKind
+mapperKindFromName(const std::string &name)
+{
+    static const struct { const char *n; MapperKind k; } table[] = {
+        {"Qiskit", MapperKind::Qiskit},
+        {"T-SMT", MapperKind::TSmt},
+        {"T-SMT*", MapperKind::TSmtStar},
+        {"R-SMT*", MapperKind::RSmtStar},
+        {"GreedyV*", MapperKind::GreedyV},
+        {"GreedyE*", MapperKind::GreedyE},
+        {"GreedyE*+track", MapperKind::GreedyETrack},
+    };
+    for (const auto &e : table)
+        if (name == e.n)
+            return e.k;
+    QC_FATAL("unknown mapper '", name,
+             "' (expected Qiskit, T-SMT, T-SMT*, R-SMT*, GreedyV*, GreedyE* "
+             "or GreedyE*+track)");
+}
+
+NoiseAdaptiveCompiler::NoiseAdaptiveCompiler(GridTopology topo,
+                                             Calibration cal,
+                                             CompilerOptions options)
+    : topo_(std::move(topo)),
+      machine_(topo_, std::move(cal)),
+      options_(options),
+      mapper_(makeMapper(machine_, options_))
+{
+}
+
+CompiledProgram
+NoiseAdaptiveCompiler::compile(const Circuit &prog) const
+{
+    return mapper_->compile(prog);
+}
+
+std::string
+NoiseAdaptiveCompiler::compileToQasm(const Circuit &prog) const
+{
+    CompiledProgram compiled = compile(prog);
+    return emitQasm(compiled.hwCircuit(prog.numClbits()));
+}
+
+std::unique_ptr<Mapper>
+NoiseAdaptiveCompiler::makeMapper(const Machine &machine,
+                                  const CompilerOptions &options)
+{
+    switch (options.mapper) {
+      case MapperKind::Qiskit:
+        return std::make_unique<QiskitBaselineMapper>(machine);
+      case MapperKind::GreedyV:
+        return std::make_unique<GreedyVMapper>(machine);
+      case MapperKind::GreedyE:
+        return std::make_unique<GreedyEMapper>(machine);
+      case MapperKind::GreedyETrack:
+        return std::make_unique<GreedyETrackMapper>(machine);
+      case MapperKind::TSmt:
+      case MapperKind::TSmtStar:
+      case MapperKind::RSmtStar: {
+        SmtMapperOptions smt;
+        smt.variant = options.mapper == MapperKind::TSmt
+                          ? SmtVariant::TSmt
+                      : options.mapper == MapperKind::TSmtStar
+                          ? SmtVariant::TSmtStar
+                          : SmtVariant::RSmtStar;
+        smt.policy = options.policy;
+        smt.readoutWeight = options.readoutWeight;
+        smt.timeoutMs = options.smtTimeoutMs;
+        smt.jointScheduling = options.jointScheduling;
+        return std::make_unique<SmtMapper>(machine, smt);
+      }
+    }
+    QC_PANIC("unknown mapper kind");
+}
+
+} // namespace qc

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Public entry point: the noise-adaptive compiler facade.
+ *
+ * Wraps machine construction (topology + calibration), mapper
+ * selection (Table 1's variants), compilation, and OpenQASM emission
+ * behind one object — the API a downstream user programs against.
+ */
+
+#ifndef QC_CORE_COMPILER_HPP
+#define QC_CORE_COMPILER_HPP
+
+#include <memory>
+#include <string>
+
+#include "ir/circuit.hpp"
+#include "ir/qasm.hpp"
+#include "machine/calibration_model.hpp"
+#include "machine/machine.hpp"
+#include "mappers/mapper.hpp"
+#include "route/routing.hpp"
+
+namespace qc {
+
+/** The compiler variants of Table 1. */
+enum class MapperKind {
+    Qiskit,   ///< calibration-blind baseline
+    TSmt,     ///< SMT, minimize duration, static machine model
+    TSmtStar, ///< SMT, minimize duration, calibration-aware
+    RSmtStar, ///< SMT, maximize reliability (Eq. 12)
+    GreedyV,  ///< greatest-vertex-degree-first heuristic
+    GreedyE,  ///< greatest-weighted-edge-first heuristic
+    GreedyETrack, ///< GreedyE* placement + live-tracking routing
+};
+
+const char *mapperKindName(MapperKind k);
+
+/** Parse a variant name ("R-SMT*", "GreedyE*", ...); throws on error. */
+MapperKind mapperKindFromName(const std::string &name);
+
+/** Top-level compiler configuration. */
+struct CompilerOptions
+{
+    MapperKind mapper = MapperKind::RSmtStar;
+    RoutingPolicy policy = RoutingPolicy::OneBendPath;
+    double readoutWeight = 0.5;   ///< Eq. 12 omega (R-SMT*)
+    unsigned smtTimeoutMs = 60'000;
+    bool jointScheduling = true;  ///< full SMT formulation
+};
+
+/**
+ * Noise-adaptive compiler for one machine-day.
+ *
+ * Owns the topology and calibration snapshot it compiles against;
+ * re-create it per calibration cycle (the paper recompiles daily).
+ */
+class NoiseAdaptiveCompiler
+{
+  public:
+    NoiseAdaptiveCompiler(GridTopology topo, Calibration cal,
+                          CompilerOptions options = {});
+
+    /** Compile a program circuit to a placed, scheduled executable. */
+    CompiledProgram compile(const Circuit &prog) const;
+
+    /** Compile and emit IBMQ16-ready OpenQASM 2.0 text. */
+    std::string compileToQasm(const Circuit &prog) const;
+
+    const Machine &machine() const { return machine_; }
+    const CompilerOptions &options() const { return options_; }
+
+    /** Instantiate a mapper for an externally-owned machine. */
+    static std::unique_ptr<Mapper> makeMapper(const Machine &machine,
+                                              const CompilerOptions
+                                                  &options);
+
+  private:
+    GridTopology topo_;
+    Machine machine_;
+    CompilerOptions options_;
+    std::unique_ptr<Mapper> mapper_;
+};
+
+} // namespace qc
+
+#endif // QC_CORE_COMPILER_HPP

@@ -1,0 +1,37 @@
+#include "experiment.hpp"
+
+namespace qc {
+
+ExperimentEnv::ExperimentEnv(std::uint64_t seed, GridTopology topo,
+                             CalibrationModelParams params)
+    : seed_(seed), topo_(std::move(topo)), model_(topo_, seed, params)
+{
+}
+
+Machine
+ExperimentEnv::machineForDay(int day) const
+{
+    return Machine(topo_, model_.forDay(day));
+}
+
+MeasuredRun
+runMeasured(const Machine &machine, const Benchmark &bench,
+            const CompilerOptions &options, int trials,
+            std::uint64_t exec_seed)
+{
+    auto mapper = NoiseAdaptiveCompiler::makeMapper(machine, options);
+    MeasuredRun run;
+    run.benchmark = bench.name;
+    run.compiled = mapper->compile(bench.circuit);
+    run.mapper = run.compiled.mapperName;
+
+    ExecutionOptions exec;
+    exec.trials = trials;
+    exec.seed = exec_seed;
+    run.execution = runNoisy(machine, run.compiled.schedule,
+                             bench.circuit.numClbits(), bench.expected,
+                             exec);
+    return run;
+}
+
+} // namespace qc

@@ -1,0 +1,135 @@
+#include "circuit.hpp"
+
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace qc {
+
+Circuit::Circuit(std::string name, int n_qubits, int n_clbits)
+    : name_(std::move(name)),
+      numQubits_(n_qubits),
+      numClbits_(n_clbits < 0 ? n_qubits : n_clbits)
+{
+    QC_ASSERT(numQubits_ > 0, "circuit needs at least one qubit");
+}
+
+void
+Circuit::add(const Gate &g)
+{
+    QC_ASSERT(g.q0 >= 0 && g.q0 < numQubits_,
+              "gate operand q", g.q0, " out of range in ", name_);
+    if (g.isTwoQubit()) {
+        QC_ASSERT(g.q1 >= 0 && g.q1 < numQubits_,
+                  "gate operand q", g.q1, " out of range in ", name_);
+        QC_ASSERT(g.q0 != g.q1, "two-qubit gate with identical operands");
+    }
+    if (g.isMeasure()) {
+        QC_ASSERT(g.cbit >= 0 && g.cbit < numClbits_,
+                  "measure cbit ", g.cbit, " out of range in ", name_);
+    }
+    gates_.push_back(g);
+}
+
+void
+Circuit::cz(int c, int t)
+{
+    h(t);
+    cnot(c, t);
+    h(t);
+}
+
+void
+Circuit::toffoli(int a, int b, int target)
+{
+    h(target);
+    cnot(b, target);
+    tdg(target);
+    cnot(a, target);
+    t(target);
+    cnot(b, target);
+    tdg(target);
+    cnot(a, target);
+    t(b);
+    t(target);
+    h(target);
+    cnot(a, b);
+    t(a);
+    tdg(b);
+    cnot(a, b);
+}
+
+int
+Circuit::cnotCount() const
+{
+    int n = 0;
+    for (const auto &g : gates_) {
+        if (g.op == Op::CNOT)
+            n += 1;
+        else if (g.op == Op::Swap)
+            n += 3;
+    }
+    return n;
+}
+
+int
+Circuit::gateCount() const
+{
+    int n = 0;
+    for (const auto &g : gates_)
+        if (!g.isMeasure())
+            n += 1;
+    return n;
+}
+
+int
+Circuit::measureCount() const
+{
+    int n = 0;
+    for (const auto &g : gates_)
+        if (g.isMeasure())
+            n += 1;
+    return n;
+}
+
+int
+Circuit::twoQubitCount() const
+{
+    int n = 0;
+    for (const auto &g : gates_)
+        if (g.isTwoQubit())
+            n += 1;
+    return n;
+}
+
+std::vector<int>
+Circuit::measuredQubits() const
+{
+    std::vector<int> qs;
+    for (const auto &g : gates_)
+        if (g.isMeasure())
+            qs.push_back(g.q0);
+    return qs;
+}
+
+bool
+Circuit::usesQubit(int q) const
+{
+    for (const auto &g : gates_)
+        if (g.touches(q))
+            return true;
+    return false;
+}
+
+std::string
+Circuit::toString() const
+{
+    std::ostringstream oss;
+    oss << "circuit " << name_ << " (" << numQubits_ << " qubits, "
+        << gates_.size() << " ops)\n";
+    for (const auto &g : gates_)
+        oss << "  " << g.toString() << "\n";
+    return oss.str();
+}
+
+} // namespace qc

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Circuit container: an ordered gate list over n qubits, the unit the
+ * backend compiles. Program order is a valid topological order of the
+ * data-dependency DAG (see dag.hpp).
+ */
+
+#ifndef QC_IR_CIRCUIT_HPP
+#define QC_IR_CIRCUIT_HPP
+
+#include <string>
+#include <vector>
+
+#include "ir/gate.hpp"
+
+namespace qc {
+
+/**
+ * A quantum circuit over a fixed register of qubits and classical bits.
+ *
+ * Used both for program-level circuits (logical qubits, from the
+ * frontend) and hardware-level circuits (physical qubits, produced by
+ * the router/scheduler).
+ */
+class Circuit
+{
+  public:
+    Circuit() = default;
+
+    /**
+     * @param name     circuit name (used in reports and QASM emission)
+     * @param n_qubits register width
+     * @param n_clbits classical register width (defaults to n_qubits)
+     */
+    Circuit(std::string name, int n_qubits, int n_clbits = -1);
+
+    const std::string &name() const { return name_; }
+    void setName(std::string n) { name_ = std::move(n); }
+
+    int numQubits() const { return numQubits_; }
+    int numClbits() const { return numClbits_; }
+
+    const std::vector<Gate> &gates() const { return gates_; }
+    const Gate &gate(size_t i) const { return gates_[i]; }
+    size_t size() const { return gates_.size(); }
+    bool empty() const { return gates_.empty(); }
+
+    /** Append a validated gate. */
+    void add(const Gate &g);
+
+    /** @name Builder helpers
+     *  Convenience mutators mirroring OpenQASM mnemonics.
+     *  @{ */
+    void h(int q) { add({Op::H, q, kInvalidQubit, -1}); }
+    void x(int q) { add({Op::X, q, kInvalidQubit, -1}); }
+    void y(int q) { add({Op::Y, q, kInvalidQubit, -1}); }
+    void z(int q) { add({Op::Z, q, kInvalidQubit, -1}); }
+    void s(int q) { add({Op::S, q, kInvalidQubit, -1}); }
+    void sdg(int q) { add({Op::Sdg, q, kInvalidQubit, -1}); }
+    void t(int q) { add({Op::T, q, kInvalidQubit, -1}); }
+    void tdg(int q) { add({Op::Tdg, q, kInvalidQubit, -1}); }
+    void cnot(int c, int t) { add({Op::CNOT, c, t, -1}); }
+    void swap(int a, int b) { add({Op::Swap, a, b, -1}); }
+    void measure(int q, int c) { add({Op::Measure, q, kInvalidQubit, c}); }
+    /** @} */
+
+    /** CZ as H(t); CNOT(c,t); H(t) — used by the hidden-shift kernels. */
+    void cz(int c, int t);
+
+    /** Standard 6-CNOT, 7-T Toffoli decomposition (Nielsen & Chuang). */
+    void toffoli(int a, int b, int target);
+
+    /** Number of CNOT gates (Swaps count as 3, as on hardware). */
+    int cnotCount() const;
+
+    /** Number of gates excluding measurements (Table 2's "Gates"). */
+    int gateCount() const;
+
+    /** Number of measurement operations. */
+    int measureCount() const;
+
+    /** Number of two-qubit operations (CNOT + Swap). */
+    int twoQubitCount() const;
+
+    /** Qubits that are measured, in gate order. */
+    std::vector<int> measuredQubits() const;
+
+    /** True if any gate touches qubit q. */
+    bool usesQubit(int q) const;
+
+    /** Multi-line dump for debugging. */
+    std::string toString() const;
+
+  private:
+    std::string name_;
+    int numQubits_ = 0;
+    int numClbits_ = 0;
+    std::vector<Gate> gates_;
+};
+
+} // namespace qc
+
+#endif // QC_IR_CIRCUIT_HPP

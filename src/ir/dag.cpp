@@ -1,0 +1,104 @@
+#include "dag.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace qc {
+
+DependencyDag::DependencyDag(const Circuit &circuit)
+{
+    const size_t n = circuit.size();
+    preds_.assign(n, {});
+    succs_.assign(n, {});
+
+    std::vector<int> last_on_qubit(circuit.numQubits(), -1);
+    for (size_t i = 0; i < n; ++i) {
+        const Gate &g = circuit.gate(i);
+        std::vector<int> operands{g.q0};
+        if (g.isTwoQubit())
+            operands.push_back(g.q1);
+        for (int q : operands) {
+            int prev = last_on_qubit[q];
+            if (prev >= 0) {
+                auto &ps = preds_[i];
+                if (std::find(ps.begin(), ps.end(), prev) == ps.end()) {
+                    ps.push_back(prev);
+                    succs_[prev].push_back(static_cast<int>(i));
+                }
+            }
+            last_on_qubit[q] = static_cast<int>(i);
+        }
+    }
+}
+
+std::vector<int>
+DependencyDag::roots() const
+{
+    std::vector<int> r;
+    for (size_t i = 0; i < preds_.size(); ++i)
+        if (preds_[i].empty())
+            r.push_back(static_cast<int>(i));
+    return r;
+}
+
+std::vector<int>
+DependencyDag::sinks() const
+{
+    std::vector<int> r;
+    for (size_t i = 0; i < succs_.size(); ++i)
+        if (succs_[i].empty())
+            r.push_back(static_cast<int>(i));
+    return r;
+}
+
+bool
+DependencyDag::dependsOn(int b, int a) const
+{
+    if (b <= a)
+        return false;
+    // DFS backwards from b; indices only decrease along pred edges.
+    std::vector<int> stack{b};
+    std::vector<bool> seen(preds_.size(), false);
+    while (!stack.empty()) {
+        int cur = stack.back();
+        stack.pop_back();
+        if (cur == a)
+            return true;
+        if (cur < a || seen[cur])
+            continue;
+        seen[cur] = true;
+        for (int p : preds_[cur])
+            stack.push_back(p);
+    }
+    return false;
+}
+
+Timeslot
+DependencyDag::criticalPath(const std::vector<Timeslot> &durations) const
+{
+    QC_ASSERT(durations.size() == preds_.size(),
+              "duration vector arity mismatch");
+    std::vector<Timeslot> finish(preds_.size(), 0);
+    Timeslot best = 0;
+    for (size_t i = 0; i < preds_.size(); ++i) {
+        Timeslot start = 0;
+        for (int p : preds_[i])
+            start = std::max(start, finish[p]);
+        finish[i] = start + durations[i];
+        best = std::max(best, finish[i]);
+    }
+    return best;
+}
+
+std::vector<int>
+DependencyDag::depths() const
+{
+    std::vector<int> depth(preds_.size(), 1);
+    for (size_t i = 0; i < preds_.size(); ++i)
+        for (int p : preds_[i])
+            depth[i] = std::max(depth[i], depth[p] + 1);
+    return depth;
+}
+
+} // namespace qc

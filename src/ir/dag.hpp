@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Data-dependency DAG over a circuit's gates (the paper's relation
+ * "g2 > g1": g2 must start after g1 finishes, constraint 3).
+ */
+
+#ifndef QC_IR_DAG_HPP
+#define QC_IR_DAG_HPP
+
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "support/types.hpp"
+
+namespace qc {
+
+/**
+ * Dependency DAG: gate i depends on gate j iff they share a qubit and
+ * j is the most recent earlier gate on that qubit. Gate indices refer
+ * to positions in the source circuit, whose program order is a valid
+ * topological order.
+ */
+class DependencyDag
+{
+  public:
+    explicit DependencyDag(const Circuit &circuit);
+
+    size_t numGates() const { return preds_.size(); }
+
+    /** Direct predecessors of gate i (deduplicated). */
+    const std::vector<int> &preds(int i) const { return preds_[i]; }
+
+    /** Direct successors of gate i (deduplicated). */
+    const std::vector<int> &succs(int i) const { return succs_[i]; }
+
+    /** Gates with no predecessors. */
+    std::vector<int> roots() const;
+
+    /** Gates with no successors. */
+    std::vector<int> sinks() const;
+
+    /** True if gate b transitively depends on gate a. */
+    bool dependsOn(int b, int a) const;
+
+    /**
+     * Length of the longest path through the DAG where gate i
+     * contributes durations[i]; the paper's schedule lower bound.
+     */
+    Timeslot criticalPath(const std::vector<Timeslot> &durations) const;
+
+    /**
+     * ASAP depth of each gate counting every gate as one step
+     * (classic circuit depth when applied with unit durations).
+     */
+    std::vector<int> depths() const;
+
+  private:
+    std::vector<std::vector<int>> preds_;
+    std::vector<std::vector<int>> succs_;
+};
+
+} // namespace qc
+
+#endif // QC_IR_DAG_HPP

@@ -1,0 +1,90 @@
+#include "program_graph.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace qc {
+
+ProgramGraph::ProgramGraph(const Circuit &circuit)
+    : degree_(circuit.numQubits(), 0),
+      readoutCount_(circuit.numQubits(), 0)
+{
+    std::map<std::pair<int, int>, int> weight;
+    for (const auto &g : circuit.gates()) {
+        if (g.op == Op::CNOT || g.op == Op::Swap) {
+            int multiplicity = g.op == Op::Swap ? 3 : 1;
+            int a = std::min(g.q0, g.q1);
+            int b = std::max(g.q0, g.q1);
+            weight[{a, b}] += multiplicity;
+            degree_[g.q0] += multiplicity;
+            degree_[g.q1] += multiplicity;
+        } else if (g.isMeasure()) {
+            readoutCount_[g.q0] += 1;
+        }
+    }
+    for (const auto &[key, w] : weight)
+        edges_.push_back({key.first, key.second, w});
+}
+
+int
+ProgramGraph::edgeWeight(ProgQubit a, ProgQubit b) const
+{
+    for (const auto &e : edges_) {
+        if ((e.a == a && e.b == b) || (e.a == b && e.b == a))
+            return e.weight;
+    }
+    return 0;
+}
+
+std::vector<ProgQubit>
+ProgramGraph::neighbors(ProgQubit q) const
+{
+    std::vector<ProgQubit> ns;
+    for (const auto &e : edges_) {
+        if (e.a == q)
+            ns.push_back(e.b);
+        else if (e.b == q)
+            ns.push_back(e.a);
+    }
+    return ns;
+}
+
+std::vector<ProgramEdge>
+ProgramGraph::sortedEdgesByWeight() const
+{
+    std::vector<ProgramEdge> es = edges_;
+    std::stable_sort(es.begin(), es.end(),
+                     [](const ProgramEdge &x, const ProgramEdge &y) {
+                         if (x.weight != y.weight)
+                             return x.weight > y.weight;
+                         if (x.a != y.a)
+                             return x.a < y.a;
+                         return x.b < y.b;
+                     });
+    return es;
+}
+
+std::vector<ProgQubit>
+ProgramGraph::sortedQubitsByDegree() const
+{
+    std::vector<ProgQubit> qs(degree_.size());
+    for (size_t i = 0; i < qs.size(); ++i)
+        qs[i] = static_cast<int>(i);
+    std::stable_sort(qs.begin(), qs.end(), [this](int x, int y) {
+        if (degree_[x] != degree_[y])
+            return degree_[x] > degree_[y];
+        return x < y;
+    });
+    return qs;
+}
+
+int
+ProgramGraph::totalCnots() const
+{
+    int n = 0;
+    for (const auto &e : edges_)
+        n += e.weight;
+    return n;
+}
+
+} // namespace qc

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Program interaction graph: one node per program qubit, one weighted
+ * edge per CNOT-connected qubit pair (paper Sec. 5). Drives the greedy
+ * heuristics and the SMT reliability objective.
+ */
+
+#ifndef QC_IR_PROGRAM_GRAPH_HPP
+#define QC_IR_PROGRAM_GRAPH_HPP
+
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace qc {
+
+/** A CNOT-interaction edge between two program qubits. */
+struct ProgramEdge
+{
+    ProgQubit a;
+    ProgQubit b;
+    int weight; ///< number of CNOTs between a and b
+};
+
+/**
+ * Undirected weighted interaction graph of a circuit.
+ *
+ * "Degree" of a qubit is the number of CNOTs it participates in (the
+ * paper's GreedyV* ordering key), not the number of distinct neighbors.
+ */
+class ProgramGraph
+{
+  public:
+    explicit ProgramGraph(const Circuit &circuit);
+
+    int numQubits() const { return static_cast<int>(degree_.size()); }
+
+    /** Edges in unspecified order; use sortedEdgesByWeight for GreedyE*. */
+    const std::vector<ProgramEdge> &edges() const { return edges_; }
+
+    /** CNOT count incident to qubit q. */
+    int degree(ProgQubit q) const { return degree_[q]; }
+
+    /** Readout (measurement) count of qubit q. */
+    int readoutCount(ProgQubit q) const { return readoutCount_[q]; }
+
+    /** CNOT multiplicity between a and b (0 if none). */
+    int edgeWeight(ProgQubit a, ProgQubit b) const;
+
+    /** Distinct CNOT neighbors of q. */
+    std::vector<ProgQubit> neighbors(ProgQubit q) const;
+
+    /** Edges sorted by descending weight (ties: lower qubit ids first). */
+    std::vector<ProgramEdge> sortedEdgesByWeight() const;
+
+    /** Qubits sorted by descending degree (ties: lower ids first). */
+    std::vector<ProgQubit> sortedQubitsByDegree() const;
+
+    /** Total CNOT count in the circuit. */
+    int totalCnots() const;
+
+  private:
+    std::vector<ProgramEdge> edges_;
+    std::vector<int> degree_;
+    std::vector<int> readoutCount_;
+};
+
+} // namespace qc
+
+#endif // QC_IR_PROGRAM_GRAPH_HPP

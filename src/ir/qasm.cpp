@@ -1,0 +1,238 @@
+#include "qasm.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "support/logging.hpp"
+
+namespace qc {
+
+std::string
+emitQasm(const Circuit &circuit)
+{
+    std::ostringstream oss;
+    oss << "// " << circuit.name() << "\n";
+    oss << "OPENQASM 2.0;\n";
+    oss << "include \"qelib1.inc\";\n";
+    oss << "qreg q[" << circuit.numQubits() << "];\n";
+    oss << "creg c[" << circuit.numClbits() << "];\n";
+    for (const auto &g : circuit.gates()) {
+        switch (g.op) {
+          case Op::Swap:
+            // SWAP(a, b) := CX a,b; CX b,a; CX a,b (footnote 2).
+            oss << "cx q[" << g.q0 << "],q[" << g.q1 << "];\n";
+            oss << "cx q[" << g.q1 << "],q[" << g.q0 << "];\n";
+            oss << "cx q[" << g.q0 << "],q[" << g.q1 << "];\n";
+            break;
+          case Op::CNOT:
+            oss << "cx q[" << g.q0 << "],q[" << g.q1 << "];\n";
+            break;
+          case Op::Measure:
+            oss << "measure q[" << g.q0 << "] -> c[" << g.cbit << "];\n";
+            break;
+          default:
+            oss << opName(g.op) << " q[" << g.q0 << "];\n";
+            break;
+        }
+    }
+    return oss.str();
+}
+
+namespace {
+
+/** Cursor over one QASM statement's text. */
+struct StmtCursor
+{
+    const std::string &text;
+    size_t pos = 0;
+    int line;
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size() && std::isspace(
+                   static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+    }
+
+    bool done()
+    {
+        skipSpace();
+        return pos >= text.size();
+    }
+
+    std::string
+    ident()
+    {
+        skipSpace();
+        size_t start = pos;
+        while (pos < text.size() &&
+               (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '_')) {
+            ++pos;
+        }
+        if (start == pos)
+            QC_FATAL("qasm line ", line, ": expected identifier");
+        return text.substr(start, pos - start);
+    }
+
+    int
+    number()
+    {
+        skipSpace();
+        size_t start = pos;
+        while (pos < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+        if (start == pos)
+            QC_FATAL("qasm line ", line, ": expected number");
+        return std::stoi(text.substr(start, pos - start));
+    }
+
+    void
+    expect(char c)
+    {
+        skipSpace();
+        if (pos >= text.size() || text[pos] != c)
+            QC_FATAL("qasm line ", line, ": expected '", c, "'");
+        ++pos;
+    }
+
+    bool
+    accept(char c)
+    {
+        skipSpace();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    /** Parse "name[index]" and return the index. */
+    int
+    indexedRef()
+    {
+        ident();
+        expect('[');
+        int idx = number();
+        expect(']');
+        return idx;
+    }
+};
+
+} // namespace
+
+Circuit
+parseQasm(const std::string &text, const std::string &name)
+{
+    // Split into statements at ';', tracking line numbers and
+    // stripping '//' comments.
+    std::vector<std::pair<std::string, int>> stmts;
+    {
+        std::string cur;
+        int line = 1;
+        int stmt_line = 1;
+        for (size_t i = 0; i < text.size(); ++i) {
+            char c = text[i];
+            if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+                while (i < text.size() && text[i] != '\n')
+                    ++i;
+                ++line;
+                continue;
+            }
+            if (c == '\n') {
+                ++line;
+                cur += ' ';
+                continue;
+            }
+            if (c == ';') {
+                stmts.emplace_back(cur, stmt_line);
+                cur.clear();
+                stmt_line = line;
+                continue;
+            }
+            if (cur.empty() && std::isspace(static_cast<unsigned char>(c)))
+                continue;
+            if (cur.empty())
+                stmt_line = line;
+            cur += c;
+        }
+        std::string rest = cur;
+        for (char &ch : rest)
+            if (std::isspace(static_cast<unsigned char>(ch)))
+                ch = ' ';
+        bool blank = rest.find_first_not_of(' ') == std::string::npos;
+        if (!blank)
+            QC_FATAL("qasm: trailing statement without ';'");
+    }
+
+    int n_qubits = -1;
+    int n_clbits = -1;
+    std::vector<Gate> pending;
+
+    for (auto &[stmt, line] : stmts) {
+        StmtCursor cur{stmt, 0, line};
+        if (cur.done())
+            continue;
+        std::string head = cur.ident();
+
+        if (head == "OPENQASM") {
+            continue; // version payload ignored
+        } else if (head == "include") {
+            continue;
+        } else if (head == "barrier") {
+            continue;
+        } else if (head == "qreg") {
+            n_qubits = cur.indexedRef();
+        } else if (head == "creg") {
+            n_clbits = cur.indexedRef();
+        } else if (head == "measure") {
+            cur.ident();
+            cur.expect('[');
+            int q = cur.number();
+            cur.expect(']');
+            cur.expect('-');
+            cur.expect('>');
+            cur.ident();
+            cur.expect('[');
+            int c = cur.number();
+            cur.expect(']');
+            pending.push_back({Op::Measure, q, kInvalidQubit, c});
+        } else {
+            Op op;
+            if (!opFromName(head, op))
+                QC_FATAL("qasm line ", line, ": unknown gate '", head, "'");
+            cur.ident();
+            cur.expect('[');
+            int q0 = cur.number();
+            cur.expect(']');
+            int q1 = kInvalidQubit;
+            if (cur.accept(',')) {
+                cur.ident();
+                cur.expect('[');
+                q1 = cur.number();
+                cur.expect(']');
+            }
+            if (opIsTwoQubit(op) && q1 == kInvalidQubit)
+                QC_FATAL("qasm line ", line, ": ", head,
+                         " needs two operands");
+            pending.push_back({op, q0, q1, -1});
+        }
+    }
+
+    if (n_qubits <= 0)
+        QC_FATAL("qasm: missing qreg declaration");
+    if (n_clbits < 0)
+        n_clbits = n_qubits;
+
+    Circuit circuit(name, n_qubits, n_clbits);
+    for (const auto &g : pending)
+        circuit.add(g);
+    return circuit;
+}
+
+} // namespace qc

@@ -1,0 +1,78 @@
+#include "calibration.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace qc {
+
+Timeslot
+Calibration::coherenceSlots(HwQubit h) const
+{
+    double ns = t2Us[h] * 1000.0;
+    return static_cast<Timeslot>(std::floor(ns / kTimeslotNs));
+}
+
+double
+Calibration::cnotReliability(EdgeId e) const
+{
+    return 1.0 - cnotError[e];
+}
+
+double
+Calibration::readoutReliability(HwQubit h) const
+{
+    return 1.0 - readoutError[h];
+}
+
+void
+Calibration::validate(const GridTopology &topo) const
+{
+    const size_t nq = static_cast<size_t>(topo.numQubits());
+    const size_t ne = static_cast<size_t>(topo.numEdges());
+    if (t1Us.size() != nq || t2Us.size() != nq ||
+        readoutError.size() != nq) {
+        QC_FATAL("calibration qubit-vector arity mismatch for ",
+                 topo.name());
+    }
+    if (cnotError.size() != ne || cnotDuration.size() != ne)
+        QC_FATAL("calibration edge-vector arity mismatch for ",
+                 topo.name());
+    for (size_t i = 0; i < nq; ++i) {
+        if (t1Us[i] <= 0.0 || t2Us[i] <= 0.0)
+            QC_FATAL("non-positive coherence time on qubit ", i);
+        if (readoutError[i] < 0.0 || readoutError[i] >= 1.0)
+            QC_FATAL("readout error out of range on qubit ", i);
+    }
+    for (size_t e = 0; e < ne; ++e) {
+        if (cnotError[e] < 0.0 || cnotError[e] >= 1.0)
+            QC_FATAL("CNOT error out of range on edge ", e);
+        if (cnotDuration[e] <= 0)
+            QC_FATAL("non-positive CNOT duration on edge ", e);
+    }
+    if (oneQubitError < 0.0 || oneQubitError >= 1.0)
+        QC_FATAL("single-qubit error out of range");
+    if (oneQubitDuration <= 0 || readoutDuration <= 0)
+        QC_FATAL("non-positive gate duration");
+}
+
+std::string
+Calibration::toString(const GridTopology &topo) const
+{
+    std::ostringstream oss;
+    oss << "calibration day " << day << " for " << topo.name() << "\n";
+    for (HwQubit h = 0; h < topo.numQubits(); ++h) {
+        oss << "  Q" << h << ": T1=" << t1Us[h] << "us T2=" << t2Us[h]
+            << "us readout_err=" << readoutError[h] << "\n";
+    }
+    for (EdgeId e = 0; e < topo.numEdges(); ++e) {
+        const auto &edge = topo.edge(e);
+        oss << "  CNOT " << edge.a << "," << edge.b
+            << ": err=" << cnotError[e] << " dur=" << cnotDuration[e]
+            << " slots\n";
+    }
+    return oss.str();
+}
+
+} // namespace qc

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Calibration snapshot: the per-qubit / per-edge measurements IBM
+ * publishes daily (T1, T2, CNOT error and duration, readout error,
+ * single-qubit gate error) which the noise-adaptive compiler consumes.
+ */
+
+#ifndef QC_MACHINE_CALIBRATION_HPP
+#define QC_MACHINE_CALIBRATION_HPP
+
+#include <string>
+#include <vector>
+
+#include "machine/topology.hpp"
+#include "support/types.hpp"
+
+namespace qc {
+
+/**
+ * One calibration cycle's data for a machine.
+ *
+ * Vectors are indexed by hardware qubit id or edge id of the owning
+ * topology. Durations are in 80 ns timeslots. Error rates are
+ * probabilities in [0, 1).
+ */
+struct Calibration
+{
+    /** Day index this snapshot belongs to (for reports). */
+    int day = 0;
+
+    std::vector<double> t1Us;          ///< relaxation time, microseconds
+    std::vector<double> t2Us;          ///< coherence time, microseconds
+    std::vector<double> readoutError;  ///< per-qubit measurement error
+    std::vector<double> cnotError;     ///< per-edge CNOT error
+    std::vector<Timeslot> cnotDuration;///< per-edge CNOT duration
+    double oneQubitError = 0.0;        ///< single-qubit gate error
+    Timeslot oneQubitDuration = 1;     ///< single-qubit gate duration
+    Timeslot readoutDuration = 12;     ///< measurement duration
+
+    /** T2 of a qubit expressed in timeslots (constraint 6's h.tau). */
+    Timeslot coherenceSlots(HwQubit h) const;
+
+    /** 1 - cnotError, the per-edge CNOT success probability. */
+    double cnotReliability(EdgeId e) const;
+
+    /** 1 - readoutError. */
+    double readoutReliability(HwQubit h) const;
+
+    /** Validate vector arities and value ranges against a topology. */
+    void validate(const GridTopology &topo) const;
+
+    /** Human-readable per-element dump. */
+    std::string toString(const GridTopology &topo) const;
+};
+
+} // namespace qc
+
+#endif // QC_MACHINE_CALIBRATION_HPP

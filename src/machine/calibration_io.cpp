@@ -1,0 +1,198 @@
+#include "calibration_io.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "support/logging.hpp"
+
+namespace qc {
+
+std::string
+saveCalibration(const Calibration &cal, const GridTopology &topo)
+{
+    cal.validate(topo);
+    std::ostringstream oss;
+    oss.precision(17); // max_digits10: exact double round trips
+    oss << "# noise-adaptive compiler calibration snapshot\n";
+    oss << "calibration v1\n";
+    oss << "day " << cal.day << "\n";
+    oss << "grid " << topo.rows() << " " << topo.cols() << "\n";
+    oss << "oneq error " << cal.oneQubitError << " duration "
+        << cal.oneQubitDuration << "\n";
+    oss << "readout_duration " << cal.readoutDuration << "\n";
+    for (HwQubit h = 0; h < topo.numQubits(); ++h) {
+        oss << "qubit " << h << " t1 " << cal.t1Us[h] << " t2 "
+            << cal.t2Us[h] << " readout " << cal.readoutError[h]
+            << "\n";
+    }
+    for (EdgeId e = 0; e < topo.numEdges(); ++e) {
+        const auto &edge = topo.edge(e);
+        oss << "edge " << edge.a << " " << edge.b << " error "
+            << cal.cnotError[e] << " duration " << cal.cnotDuration[e]
+            << "\n";
+    }
+    return oss.str();
+}
+
+namespace {
+
+/** Tokenized line with its source line number. */
+struct Line
+{
+    std::vector<std::string> tokens;
+    int number;
+};
+
+std::vector<Line>
+tokenize(const std::string &text)
+{
+    std::vector<Line> lines;
+    std::istringstream stream(text);
+    std::string raw;
+    int number = 0;
+    while (std::getline(stream, raw)) {
+        ++number;
+        if (auto hash = raw.find('#'); hash != std::string::npos)
+            raw.erase(hash);
+        std::istringstream ls(raw);
+        Line line{{}, number};
+        std::string tok;
+        while (ls >> tok)
+            line.tokens.push_back(tok);
+        if (!line.tokens.empty())
+            lines.push_back(std::move(line));
+    }
+    return lines;
+}
+
+double
+parseDouble(const Line &line, size_t idx)
+{
+    if (idx >= line.tokens.size())
+        QC_FATAL("calibration line ", line.number, ": missing field");
+    try {
+        return std::stod(line.tokens[idx]);
+    } catch (const std::exception &) {
+        QC_FATAL("calibration line ", line.number, ": bad number '",
+                 line.tokens[idx], "'");
+    }
+}
+
+int
+parseInt(const Line &line, size_t idx)
+{
+    double v = parseDouble(line, idx);
+    return static_cast<int>(v);
+}
+
+void
+expectKeyword(const Line &line, size_t idx, const std::string &kw)
+{
+    if (idx >= line.tokens.size() || line.tokens[idx] != kw)
+        QC_FATAL("calibration line ", line.number, ": expected '", kw,
+                 "'");
+}
+
+} // namespace
+
+Calibration
+loadCalibration(const std::string &text, const GridTopology &topo)
+{
+    const size_t nq = static_cast<size_t>(topo.numQubits());
+    const size_t ne = static_cast<size_t>(topo.numEdges());
+
+    Calibration cal;
+    cal.t1Us.assign(nq, 0.0);
+    cal.t2Us.assign(nq, 0.0);
+    cal.readoutError.assign(nq, -1.0);
+    cal.cnotError.assign(ne, -1.0);
+    cal.cnotDuration.assign(ne, 0);
+
+    std::vector<bool> qubit_seen(nq, false);
+    std::vector<bool> edge_seen(ne, false);
+    bool header_seen = false;
+    bool grid_seen = false;
+
+    for (const Line &line : tokenize(text)) {
+        const auto &t = line.tokens;
+        if (t[0] == "calibration") {
+            if (t.size() < 2 || t[1] != "v1")
+                QC_FATAL("calibration line ", line.number,
+                         ": unsupported version");
+            header_seen = true;
+        } else if (t[0] == "day") {
+            cal.day = parseInt(line, 1);
+        } else if (t[0] == "grid") {
+            int rows = parseInt(line, 1);
+            int cols = parseInt(line, 2);
+            if (rows != topo.rows() || cols != topo.cols())
+                QC_FATAL("calibration line ", line.number, ": grid ",
+                         rows, "x", cols, " does not match topology ",
+                         topo.name());
+            grid_seen = true;
+        } else if (t[0] == "oneq") {
+            expectKeyword(line, 1, "error");
+            cal.oneQubitError = parseDouble(line, 2);
+            expectKeyword(line, 3, "duration");
+            cal.oneQubitDuration = parseInt(line, 4);
+        } else if (t[0] == "readout_duration") {
+            cal.readoutDuration = parseInt(line, 1);
+        } else if (t[0] == "qubit") {
+            int h = parseInt(line, 1);
+            if (h < 0 || h >= static_cast<int>(nq))
+                QC_FATAL("calibration line ", line.number,
+                         ": qubit id out of range");
+            if (qubit_seen[h])
+                QC_FATAL("calibration line ", line.number,
+                         ": duplicate qubit ", h);
+            qubit_seen[h] = true;
+            expectKeyword(line, 2, "t1");
+            cal.t1Us[h] = parseDouble(line, 3);
+            expectKeyword(line, 4, "t2");
+            cal.t2Us[h] = parseDouble(line, 5);
+            expectKeyword(line, 6, "readout");
+            cal.readoutError[h] = parseDouble(line, 7);
+        } else if (t[0] == "edge") {
+            int a = parseInt(line, 1);
+            int b = parseInt(line, 2);
+            if (a < 0 || a >= static_cast<int>(nq) || b < 0 ||
+                b >= static_cast<int>(nq)) {
+                QC_FATAL("calibration line ", line.number,
+                         ": edge endpoint out of range");
+            }
+            EdgeId e = topo.edgeBetween(a, b);
+            if (e == kInvalidEdge)
+                QC_FATAL("calibration line ", line.number, ": (", a,
+                         ",", b, ") is not a coupling edge");
+            if (edge_seen[e])
+                QC_FATAL("calibration line ", line.number,
+                         ": duplicate edge");
+            edge_seen[e] = true;
+            expectKeyword(line, 3, "error");
+            cal.cnotError[e] = parseDouble(line, 4);
+            expectKeyword(line, 5, "duration");
+            cal.cnotDuration[e] = parseInt(line, 6);
+        } else {
+            QC_FATAL("calibration line ", line.number,
+                     ": unknown directive '", t[0], "'");
+        }
+    }
+
+    if (!header_seen)
+        QC_FATAL("calibration file missing 'calibration v1' header");
+    if (!grid_seen)
+        QC_FATAL("calibration file missing 'grid' declaration");
+    for (size_t h = 0; h < nq; ++h)
+        if (!qubit_seen[h])
+            QC_FATAL("calibration file missing qubit ", h);
+    for (size_t e = 0; e < ne; ++e)
+        if (!edge_seen[e])
+            QC_FATAL("calibration file missing edge ", e, " (",
+                     topo.edge(static_cast<EdgeId>(e)).a, ",",
+                     topo.edge(static_cast<EdgeId>(e)).b, ")");
+
+    cal.validate(topo);
+    return cal;
+}
+
+} // namespace qc

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Textual serialization of calibration snapshots.
+ *
+ * The paper's toolflow pulls calibration from the IBM Quantum
+ * Experience API before each compile; downstream users of this
+ * library will want to feed their own device data instead of the
+ * synthetic model. The format is a simple line-oriented text file:
+ *
+ *   # comments
+ *   calibration v1
+ *   day 3
+ *   grid 2 8
+ *   oneq error 0.002 duration 1
+ *   readout_duration 12
+ *   qubit 0 t1 83.5 t2 61.2 readout 0.041
+ *   ...
+ *   edge 0 1 error 0.034 duration 9
+ *   ...
+ */
+
+#ifndef QC_MACHINE_CALIBRATION_IO_HPP
+#define QC_MACHINE_CALIBRATION_IO_HPP
+
+#include <string>
+
+#include "machine/calibration.hpp"
+#include "machine/topology.hpp"
+
+namespace qc {
+
+/** Serialize a calibration snapshot (validated first). */
+std::string saveCalibration(const Calibration &cal,
+                            const GridTopology &topo);
+
+/**
+ * Parse a calibration file. The embedded grid dimensions must match
+ * `topo`; every qubit and edge must be specified exactly once.
+ * Throws FatalError with a line number on malformed input.
+ */
+Calibration loadCalibration(const std::string &text,
+                            const GridTopology &topo);
+
+} // namespace qc
+
+#endif // QC_MACHINE_CALIBRATION_IO_HPP

@@ -1,0 +1,113 @@
+#include "calibration_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+
+namespace qc {
+
+CalibrationModel::CalibrationModel(const GridTopology &topo,
+                                   std::uint64_t seed,
+                                   CalibrationModelParams params)
+    : topo_(topo), seed_(seed), params_(params)
+{
+    const int nq = topo_.numQubits();
+    const int ne = topo_.numEdges();
+
+    Rng rng(seed_, "calibration-static");
+    t2Static_.resize(nq);
+    t1Static_.resize(nq);
+    readoutStatic_.resize(nq);
+    for (int i = 0; i < nq; ++i) {
+        t2Static_[i] = std::exp(rng.normal(0.0, params_.t2SigmaStatic));
+        t1Static_[i] = std::exp(rng.normal(0.0, params_.t1SigmaStatic));
+        readoutStatic_[i] =
+            std::exp(rng.normal(0.0, params_.readoutErrSigmaStatic));
+    }
+    cnotStatic_.resize(ne);
+    cnotDurations_.resize(ne);
+    for (int e = 0; e < ne; ++e) {
+        cnotStatic_[e] =
+            std::exp(rng.normal(0.0, params_.cnotErrSigmaStatic));
+        double f = rng.uniform(1.0 - params_.cnotDurSpread,
+                               1.0 + params_.cnotDurSpread);
+        cnotDurations_[e] = std::max<Timeslot>(
+            1, static_cast<Timeslot>(std::lround(
+                   static_cast<double>(params_.cnotDurationBase) * f)));
+    }
+}
+
+std::vector<double>
+CalibrationModel::driftSeries(const std::string &stream, size_t n,
+                              int day) const
+{
+    std::vector<double> factors(n);
+    for (size_t i = 0; i < n; ++i) {
+        Rng rng(seed_, stream + "-" + std::to_string(i));
+        double drift = 0.0;
+        for (int d = 0; d <= day; ++d) {
+            drift = params_.driftRho * drift +
+                    rng.normal(0.0, params_.driftSigma);
+        }
+        factors[i] = std::exp(drift);
+    }
+    return factors;
+}
+
+Calibration
+CalibrationModel::forDay(int day) const
+{
+    if (day < 0)
+        QC_FATAL("calibration day must be non-negative, got ", day);
+
+    const size_t nq = static_cast<size_t>(topo_.numQubits());
+    const size_t ne = static_cast<size_t>(topo_.numEdges());
+    const auto &p = params_;
+
+    Calibration cal;
+    cal.day = day;
+    cal.t1Us.resize(nq);
+    cal.t2Us.resize(nq);
+    cal.readoutError.resize(nq);
+    cal.cnotError.resize(ne);
+    cal.cnotDuration = cnotDurations_;
+    cal.oneQubitDuration = p.oneQubitDuration;
+    cal.readoutDuration = p.readoutDuration;
+
+    auto t2_drift = driftSeries("t2", nq, day);
+    auto t1_drift = driftSeries("t1", nq, day);
+    auto ro_drift = driftSeries("readout", nq, day);
+    auto cx_drift = driftSeries("cnot", ne, day);
+
+    for (size_t i = 0; i < nq; ++i) {
+        cal.t2Us[i] = std::clamp(
+            p.t2MedianUs * t2Static_[i] * t2_drift[i], p.t2MinUs,
+            p.t2MaxUs);
+        // Physical constraint T2 <= 2*T1; enforce after drift.
+        double t1 = std::clamp(p.t1MedianUs * t1Static_[i] * t1_drift[i],
+                               p.t1MinUs, p.t1MaxUs);
+        cal.t1Us[i] = std::max(t1, 0.5 * cal.t2Us[i]);
+        cal.readoutError[i] = std::clamp(
+            p.readoutErrMedian * readoutStatic_[i] * ro_drift[i],
+            p.readoutErrMin, p.readoutErrMax);
+    }
+    for (size_t e = 0; e < ne; ++e) {
+        cal.cnotError[e] = std::clamp(
+            p.cnotErrMedian * cnotStatic_[e] * cx_drift[e], p.cnotErrMin,
+            p.cnotErrMax);
+    }
+
+    // Single-qubit error drifts uniformly across the device.
+    Rng rng(seed_, "oneq-day-" + std::to_string(day));
+    cal.oneQubitError = rng.lognormalClamped(
+        p.oneQubitErrMedian, p.oneQubitErrSigma, p.oneQubitErrMin,
+        p.oneQubitErrMax);
+
+    cal.validate(topo_);
+    return cal;
+}
+
+} // namespace qc

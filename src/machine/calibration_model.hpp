@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Synthetic calibration generator.
+ *
+ * The paper drives compilation from IBM's daily calibration logs; those
+ * logs are not publicly archivable, so this model generates statistically
+ * equivalent data (DESIGN.md substitution table). Each qubit/edge gets a
+ * static "lithographic" quality factor (fixed across days — the paper
+ * attributes variability to material defects) plus an AR(1) day-to-day
+ * drift, reproducing the published statistics: mean T2 ~70 us with up to
+ * ~9.2x spatio-temporal spread, mean CNOT error ~0.04 (up to ~9x spread),
+ * mean readout error ~0.07 (up to ~5.9x spread), single-qubit error
+ * ~0.002, and CNOT durations varying up to ~1.8x across edges.
+ */
+
+#ifndef QC_MACHINE_CALIBRATION_MODEL_HPP
+#define QC_MACHINE_CALIBRATION_MODEL_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/calibration.hpp"
+#include "machine/topology.hpp"
+
+namespace qc {
+
+/** Tunable parameters of the synthetic calibration distribution. */
+struct CalibrationModelParams
+{
+    double t2MedianUs = 65.0;     ///< median T2
+    double t2SigmaStatic = 0.45;  ///< lognormal sigma, static spread
+    double t2MinUs = 13.0;
+    double t2MaxUs = 125.0;
+
+    double t1MedianUs = 80.0;     ///< median T1
+    double t1SigmaStatic = 0.35;
+    double t1MinUs = 25.0;
+    double t1MaxUs = 160.0;
+
+    double cnotErrMedian = 0.035; ///< median CNOT error
+    double cnotErrSigmaStatic = 0.55;
+    double cnotErrMin = 0.012;
+    double cnotErrMax = 0.35;
+
+    double readoutErrMedian = 0.06;
+    double readoutErrSigmaStatic = 0.5;
+    double readoutErrMin = 0.015;
+    double readoutErrMax = 0.35;
+
+    double oneQubitErrMedian = 0.002;
+    double oneQubitErrSigma = 0.25;
+    double oneQubitErrMin = 0.0005;
+    double oneQubitErrMax = 0.01;
+
+    Timeslot cnotDurationBase = 10; ///< mean CNOT duration, slots
+    double cnotDurSpread = 0.30;    ///< +/- fraction (1.8x max/min)
+    Timeslot oneQubitDuration = 1;
+    Timeslot readoutDuration = 12;
+
+    double driftRho = 0.7;       ///< AR(1) persistence of daily drift
+    double driftSigma = 0.25;    ///< innovation sigma of daily drift
+};
+
+/**
+ * Deterministic day-indexed calibration source for one topology.
+ *
+ * forDay(d) is a pure function of (seed, topology, params, d): re-asking
+ * for the same day always returns identical data, and consecutive days
+ * are correlated through the AR(1) drift — matching how real hardware
+ * drifts between calibration cycles (paper Fig. 1).
+ */
+class CalibrationModel
+{
+  public:
+    CalibrationModel(const GridTopology &topo, std::uint64_t seed,
+                     CalibrationModelParams params = {});
+
+    /** Generate (or recall) the calibration snapshot for a day >= 0. */
+    Calibration forDay(int day) const;
+
+    const CalibrationModelParams &params() const { return params_; }
+    const GridTopology &topology() const { return topo_; }
+
+  private:
+    /** Per-element multiplicative drift factors for a given day. */
+    std::vector<double> driftSeries(const std::string &stream, size_t n,
+                                    int day) const;
+
+    const GridTopology &topo_;
+    std::uint64_t seed_;
+    CalibrationModelParams params_;
+
+    // Static (day-independent) per-element quality factors.
+    std::vector<double> t1Static_;
+    std::vector<double> t2Static_;
+    std::vector<double> readoutStatic_;
+    std::vector<double> cnotStatic_;
+    std::vector<Timeslot> cnotDurations_;
+};
+
+} // namespace qc
+
+#endif // QC_MACHINE_CALIBRATION_MODEL_HPP

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Machine = topology + one calibration snapshot + derived tables.
+ *
+ * Precomputes everything the mappers consume:
+ *  - the one-bend-path reliability matrix EC[h1][h2][j] and duration
+ *    matrix Delta[h1][h2][j] (paper Sec. 4.3/4.4),
+ *  - noise-unaware uniform durations (T-SMT's machine model),
+ *  - Dijkstra most-reliable paths with -log(1 - cnot_err) edge weights
+ *    (paper Sec. 5, used by the greedy heuristics).
+ */
+
+#ifndef QC_MACHINE_MACHINE_HPP
+#define QC_MACHINE_MACHINE_HPP
+
+#include <array>
+#include <vector>
+
+#include "machine/calibration.hpp"
+#include "machine/topology.hpp"
+#include "support/types.hpp"
+
+namespace qc {
+
+/**
+ * A concrete CNOT route between two hardware qubits.
+ *
+ * nodes = [control ... target]; the control state is SWAPped along
+ * nodes[0..d-1], the CNOT executes on the final edge, and the SWAPs are
+ * undone afterwards. Following the paper:
+ *  - reliability counts the forward SWAP chain (3 CNOTs per hop) plus
+ *    the final CNOT (footnote 3's worked example),
+ *  - duration counts the SWAP chain both ways plus the CNOT
+ *    (Sec. 4.2's 2*(d-1)*tau_swap + tau_cnot).
+ */
+struct RoutePath
+{
+    std::vector<HwQubit> nodes;  ///< control first, target last
+    std::vector<EdgeId> edges;   ///< edges between consecutive nodes
+    HwQubit junction = kInvalidQubit; ///< bend point (one-bend paths)
+    double reliability = 0.0;    ///< EC entry for this route
+    Timeslot duration = 0;       ///< Delta entry for this route
+
+    /** Number of SWAPs on the forward leg (edges - 1). */
+    int swapCount() const
+    {
+        return static_cast<int>(edges.size()) - 1;
+    }
+};
+
+/**
+ * Immutable machine view for one calibration day.
+ *
+ * Mapper-facing tables are all precomputed in the constructor, so
+ * lookups during search are O(1).
+ */
+class Machine
+{
+  public:
+    Machine(const GridTopology &topo, Calibration cal);
+
+    const GridTopology &topo() const { return topo_; }
+    const Calibration &cal() const { return cal_; }
+    int numQubits() const { return topo_.numQubits(); }
+
+    /** @name One-bend paths (1BP routing policy)
+     *  @{ */
+
+    /** Number of distinct one-bend routes between c and t (1 or 2). */
+    int numOneBendPaths(HwQubit c, HwQubit t) const;
+
+    /** The j-th one-bend route, j in [0, numOneBendPaths). */
+    const RoutePath &oneBendPath(HwQubit c, HwQubit t, int j) const;
+
+    /** Most reliable one-bend route (R-SMT*'s EC junction choice). */
+    const RoutePath &bestReliabilityPath(HwQubit c, HwQubit t) const;
+
+    /** Shortest-duration one-bend route (T-SMT*'s choice). */
+    const RoutePath &bestDurationPath(HwQubit c, HwQubit t) const;
+
+    /** max_j EC[c][t][j] — the solver's per-pair reliability bound. */
+    double bestPathReliability(HwQubit c, HwQubit t) const;
+
+    /** min_j Delta[c][t][j]. */
+    Timeslot bestPathDuration(HwQubit c, HwQubit t) const;
+
+    /** @} */
+
+    /** @name Noise-unaware model (T-SMT)
+     *  @{ */
+
+    /**
+     * Route duration assuming every CNOT takes the nominal base time:
+     * 2*(dist-1)*tau_swap + tau_cnot with tau_swap = 3*tau_cnot.
+     */
+    Timeslot uniformRouteDuration(int dist) const;
+
+    /** The nominal CNOT duration used by the noise-unaware model. */
+    Timeslot uniformCnotDuration() const { return uniformCnotDuration_; }
+
+    /**
+     * The noise-unaware coherence bound: 1000 timeslots, the paper's
+     * long-term machine average (constraint 4).
+     */
+    static constexpr Timeslot kStaticCoherenceSlots = 1000;
+
+    /** @} */
+
+    /** @name Dijkstra most-reliable paths (greedy heuristics)
+     *  @{ */
+
+    /** Sum of -log(1 - cnot_err) along the most reliable path. */
+    double mostReliablePathCost(HwQubit a, HwQubit b) const;
+
+    /** Product of edge reliabilities along the most reliable path. */
+    double mostReliablePathReliability(HwQubit a, HwQubit b) const;
+
+    /** Node sequence of the most reliable path from a to b. */
+    std::vector<HwQubit> mostReliablePath(HwQubit a, HwQubit b) const;
+
+    /**
+     * Route along the Dijkstra most-reliable path, with the same
+     * SWAP-forward / CNOT / SWAP-back accounting as one-bend routes.
+     */
+    RoutePath dijkstraRoute(HwQubit c, HwQubit t) const;
+
+    /** @} */
+
+    /** Hardware qubits sorted by descending readout reliability. */
+    std::vector<HwQubit> qubitsByReadoutReliability() const;
+
+    /** Grid distance shortcut. */
+    int distance(HwQubit a, HwQubit b) const
+    {
+        return topo_.distance(a, b);
+    }
+
+  private:
+    RoutePath makeRoute(std::vector<HwQubit> nodes, HwQubit junction) const;
+    void buildOneBendPaths();
+    void buildDijkstra();
+
+    const GridTopology &topo_;
+    Calibration cal_;
+    Timeslot uniformCnotDuration_;
+
+    // obp_[c * n + t] holds 1 or 2 routes (empty when c == t).
+    std::vector<std::vector<RoutePath>> obp_;
+
+    // Dijkstra all-pairs: cost in -log reliability, plus predecessors.
+    std::vector<std::vector<double>> djCost_;
+    std::vector<std::vector<HwQubit>> djPrev_;
+};
+
+} // namespace qc
+
+#endif // QC_MACHINE_MACHINE_HPP

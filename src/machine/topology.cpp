@@ -1,0 +1,104 @@
+#include "topology.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace qc {
+
+GridTopology::GridTopology(int rows, int cols) : rows_(rows), cols_(cols)
+{
+    if (rows <= 0 || cols <= 0)
+        QC_FATAL("grid dimensions must be positive, got ", rows, "x", cols);
+
+    const int n = numQubits();
+    neighbors_.assign(n, {});
+    edgeLookup_.assign(n, std::vector<EdgeId>(n, kInvalidEdge));
+
+    for (int x = 0; x < rows_; ++x) {
+        for (int y = 0; y < cols_; ++y) {
+            HwQubit h = qubitAt(x, y);
+            if (y + 1 < cols_) {
+                HwQubit r = qubitAt(x, y + 1);
+                EdgeId id = static_cast<EdgeId>(edges_.size());
+                edges_.push_back({h, r});
+                edgeLookup_[h][r] = edgeLookup_[r][h] = id;
+            }
+            if (x + 1 < rows_) {
+                HwQubit d = qubitAt(x + 1, y);
+                EdgeId id = static_cast<EdgeId>(edges_.size());
+                edges_.push_back({h, d});
+                edgeLookup_[h][d] = edgeLookup_[d][h] = id;
+            }
+        }
+    }
+    for (const auto &e : edges_) {
+        neighbors_[e.a].push_back(e.b);
+        neighbors_[e.b].push_back(e.a);
+    }
+    for (auto &ns : neighbors_) {
+        std::sort(ns.begin(), ns.end());
+    }
+}
+
+HwQubit
+GridTopology::qubitAt(int x, int y) const
+{
+    QC_ASSERT(x >= 0 && x < rows_ && y >= 0 && y < cols_,
+              "grid position (", x, ",", y, ") out of range");
+    return x * cols_ + y;
+}
+
+GridPos
+GridTopology::posOf(HwQubit h) const
+{
+    QC_ASSERT(h >= 0 && h < numQubits(), "qubit ", h, " out of range");
+    return {h / cols_, h % cols_};
+}
+
+int
+GridTopology::distance(HwQubit a, HwQubit b) const
+{
+    GridPos pa = posOf(a);
+    GridPos pb = posOf(b);
+    return std::abs(pa.x - pb.x) + std::abs(pa.y - pb.y);
+}
+
+bool
+GridTopology::adjacent(HwQubit a, HwQubit b) const
+{
+    return distance(a, b) == 1;
+}
+
+const std::vector<HwQubit> &
+GridTopology::neighbors(HwQubit h) const
+{
+    QC_ASSERT(h >= 0 && h < numQubits(), "qubit ", h, " out of range");
+    return neighbors_[h];
+}
+
+EdgeId
+GridTopology::edgeBetween(HwQubit a, HwQubit b) const
+{
+    QC_ASSERT(a >= 0 && a < numQubits() && b >= 0 && b < numQubits(),
+              "edge endpoints out of range");
+    return edgeLookup_[a][b];
+}
+
+GridTopology
+GridTopology::ibmq16()
+{
+    return GridTopology(2, 8);
+}
+
+std::string
+GridTopology::name() const
+{
+    std::ostringstream oss;
+    oss << "grid" << rows_ << "x" << cols_;
+    return oss.str();
+}
+
+} // namespace qc

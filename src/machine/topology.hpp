@@ -1,0 +1,94 @@
+/**
+ * @file
+ * 2-D grid qubit topology (paper Sec. 4.1): hardware qubits arranged
+ * as an Mx x My grid; two-qubit gates permitted only between grid
+ * neighbors. IBMQ 16 Rueschlikon is modelled as the 2x8 instance.
+ */
+
+#ifndef QC_MACHINE_TOPOLOGY_HPP
+#define QC_MACHINE_TOPOLOGY_HPP
+
+#include <string>
+#include <vector>
+
+#include "support/types.hpp"
+
+namespace qc {
+
+/** Grid coordinate of a hardware qubit (row x, column y). */
+struct GridPos
+{
+    int x = 0;
+    int y = 0;
+};
+
+inline bool operator==(const GridPos &a, const GridPos &b)
+{
+    return a.x == b.x && a.y == b.y;
+}
+
+/** An undirected coupling edge between two adjacent hardware qubits. */
+struct CouplingEdge
+{
+    HwQubit a;
+    HwQubit b;
+};
+
+/**
+ * Rectangular grid topology.
+ *
+ * Qubit ids are row-major: qubit(x, y) = x * cols + y. Adjacency is
+ * 4-neighborhood (Manhattan); the L1 grid distance equals the hop
+ * distance, as the paper's duration formula assumes.
+ */
+class GridTopology
+{
+  public:
+    /** @param rows Mx, @param cols My */
+    GridTopology(int rows, int cols);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    int numQubits() const { return rows_ * cols_; }
+    int numEdges() const { return static_cast<int>(edges_.size()); }
+
+    /** Row-major qubit id at (x, y). */
+    HwQubit qubitAt(int x, int y) const;
+
+    /** Grid coordinate of a qubit id. */
+    GridPos posOf(HwQubit h) const;
+
+    /** Manhattan (== hop) distance between two qubits. */
+    int distance(HwQubit a, HwQubit b) const;
+
+    /** True if a and b are grid neighbors. */
+    bool adjacent(HwQubit a, HwQubit b) const;
+
+    /** Neighbors of h in increasing id order. */
+    const std::vector<HwQubit> &neighbors(HwQubit h) const;
+
+    /** All edges, each listed once with a < b. */
+    const std::vector<CouplingEdge> &edges() const { return edges_; }
+
+    /** Edge id joining a and b, or kInvalidEdge. */
+    EdgeId edgeBetween(HwQubit a, HwQubit b) const;
+
+    const CouplingEdge &edge(EdgeId e) const { return edges_[e]; }
+
+    /** The paper's evaluation machine: a 2x8 grid (16 qubits). */
+    static GridTopology ibmq16();
+
+    /** Short description, e.g. "grid2x8". */
+    std::string name() const;
+
+  private:
+    int rows_;
+    int cols_;
+    std::vector<CouplingEdge> edges_;
+    std::vector<std::vector<HwQubit>> neighbors_;
+    std::vector<std::vector<EdgeId>> edgeLookup_;
+};
+
+} // namespace qc
+
+#endif // QC_MACHINE_TOPOLOGY_HPP

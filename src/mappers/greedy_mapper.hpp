@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Noise-aware greedy heuristics GreedyV* and GreedyE* (paper Sec. 5).
+ *
+ * Both precompute Dijkstra most-reliable paths between all hardware
+ * qubit pairs (edge weights -log(1 - cnot_err)), place qubits greedily
+ * using the program interaction graph, schedule with the
+ * earliest-ready-gate-first policy and route along the precomputed
+ * paths.
+ */
+
+#ifndef QC_MAPPERS_GREEDY_MAPPER_HPP
+#define QC_MAPPERS_GREEDY_MAPPER_HPP
+
+#include "mappers/mapper.hpp"
+
+namespace qc {
+
+/**
+ * GreedyV*: place program qubits in descending CNOT-degree order; the
+ * first qubit goes to the best-readout high-degree hardware location,
+ * each subsequent qubit to the free location with the most reliable
+ * paths to its already-placed neighbors.
+ */
+class GreedyVMapper : public Mapper
+{
+  public:
+    explicit GreedyVMapper(const Machine &machine) : Mapper(machine) {}
+
+    std::string name() const override { return "GreedyV*"; }
+
+    CompiledProgram compile(const Circuit &prog) override;
+};
+
+/**
+ * GreedyE*: place program CNOT edges in descending weight order; the
+ * heaviest edge goes to the hardware edge with maximal combined CNOT
+ * and readout reliability, then unmapped endpoints are attached to
+ * maximize path reliability to their placed neighbors.
+ */
+class GreedyEMapper : public Mapper
+{
+  public:
+    explicit GreedyEMapper(const Machine &machine) : Mapper(machine) {}
+
+    std::string name() const override { return "GreedyE*"; }
+
+    CompiledProgram compile(const Circuit &prog) override;
+};
+
+/**
+ * GreedyE*+track: GreedyE*'s initial placement combined with the
+ * live-tracking router (one-way SWAP chains, drifting layout) instead
+ * of the paper's SWAP-and-restore scheme — the restore-vs-track
+ * ablation called out in DESIGN.md.
+ */
+class GreedyETrackMapper : public Mapper
+{
+  public:
+    explicit GreedyETrackMapper(const Machine &machine)
+        : Mapper(machine)
+    {
+    }
+
+    std::string name() const override { return "GreedyE*+track"; }
+
+    CompiledProgram compile(const Circuit &prog) override;
+};
+
+/**
+ * Shared placement utility: the free hardware location minimizing the
+ * weighted sum of most-reliable-path costs to the placed neighbors of
+ * program qubit q (ties: better readout, then lower id). Returns
+ * kInvalidQubit if no location is free.
+ */
+HwQubit bestAttachedLocation(const Machine &machine,
+                             const std::vector<std::pair<HwQubit, int>>
+                                 &placed_neighbors,
+                             const std::vector<bool> &used);
+
+/**
+ * GreedyE*'s placement pass alone: heaviest-edge-first placement of
+ * the program interaction graph onto the machine (Sec. 5.2). Shared
+ * by GreedyEMapper and GreedyETrackMapper.
+ */
+std::vector<HwQubit> greedyEdgePlacement(const Machine &machine,
+                                         const Circuit &prog);
+
+} // namespace qc
+
+#endif // QC_MAPPERS_GREEDY_MAPPER_HPP

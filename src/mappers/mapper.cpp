@@ -1,0 +1,50 @@
+#include "mapper.hpp"
+
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace qc {
+
+Circuit
+CompiledProgram::hwCircuit(int n_clbits) const
+{
+    return schedule.toHwCircuit(programName + "." + mapperName, n_clbits);
+}
+
+CompiledProgram
+Mapper::finalize(const Circuit &prog, std::vector<HwQubit> layout,
+                 const SchedulerOptions &sched_options) const
+{
+    validateLayout(layout, prog.numQubits(), machine_.numQubits());
+
+    ListScheduler scheduler(machine_, sched_options);
+    CompiledProgram out;
+    out.programName = prog.name();
+    out.layout = std::move(layout);
+    out.junctions = sched_options.fixedJunctions;
+    out.schedule = scheduler.run(prog, out.layout);
+    out.duration = out.schedule.makespan;
+    out.swapCount = out.schedule.swapCount();
+
+    // Predicted reliability, Eq. 12 style but unweighted: the product
+    // of readout reliabilities and routed-CNOT EC values, using the
+    // exact routes the scheduler chose.
+    double log_rel = 0.0;
+    for (size_t i = 0; i < prog.size(); ++i) {
+        const Gate &g = prog.gate(i);
+        if (g.op == Op::CNOT) {
+            RoutePath r = scheduler.chooseRoute(
+                out.layout[g.q0], out.layout[g.q1], static_cast<int>(i));
+            log_rel += std::log(r.reliability);
+        } else if (g.isMeasure()) {
+            log_rel += std::log(
+                machine_.cal().readoutReliability(out.layout[g.q0]));
+        }
+    }
+    out.logReliability = log_rel;
+    out.predictedSuccess = std::exp(log_rel);
+    return out;
+}
+
+} // namespace qc

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Mapper interface and the CompiledProgram artifact every compiler
+ * variant produces (Table 1 of the paper enumerates the variants).
+ */
+
+#ifndef QC_MAPPERS_MAPPER_HPP
+#define QC_MAPPERS_MAPPER_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "machine/machine.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/schedule.hpp"
+
+namespace qc {
+
+/**
+ * The output of one compilation: placement, timed hardware schedule,
+ * and the model's own reliability/duration predictions.
+ */
+struct CompiledProgram
+{
+    std::string mapperName;
+    std::string programName;
+
+    std::vector<HwQubit> layout;   ///< program qubit -> hardware qubit
+    std::vector<int> junctions;    ///< per gate one-bend route; empty ok
+    Schedule schedule;
+
+    Timeslot duration = 0;         ///< schedule makespan (timeslots)
+    double logReliability = 0.0;   ///< sum log(eps) over CNOTs+readouts
+    double predictedSuccess = 0.0; ///< exp(logReliability)
+    int swapCount = 0;             ///< routing SWAPs in the schedule
+
+    double compileSeconds = 0.0;
+    bool solverOptimal = true;     ///< solver proved optimality
+    std::string solverStatus;      ///< diagnostic (SMT variants)
+
+    /** Hardware-level circuit (Swaps preserved; QASM expands them). */
+    Circuit hwCircuit(int n_clbits) const;
+};
+
+/**
+ * Abstract compiler backend: placement + routing + scheduling for one
+ * machine-day. Implementations must be deterministic.
+ */
+class Mapper
+{
+  public:
+    explicit Mapper(const Machine &machine) : machine_(machine) {}
+    virtual ~Mapper() = default;
+
+    Mapper(const Mapper &) = delete;
+    Mapper &operator=(const Mapper &) = delete;
+
+    /** Human-readable variant name (used in reports). */
+    virtual std::string name() const = 0;
+
+    /** Compile a program circuit. Throws FatalError if it cannot fit. */
+    virtual CompiledProgram compile(const Circuit &prog) = 0;
+
+    const Machine &machine() const { return machine_; }
+
+  protected:
+    /**
+     * Shared epilogue: validate the layout, run the list scheduler,
+     * and fill in the prediction fields. Route reliabilities follow
+     * the scheduler's route choices, so predictions match the emitted
+     * code exactly.
+     */
+    CompiledProgram finalize(const Circuit &prog,
+                             std::vector<HwQubit> layout,
+                             const SchedulerOptions &sched_options) const;
+
+    const Machine &machine_;
+};
+
+} // namespace qc
+
+#endif // QC_MAPPERS_MAPPER_HPP

@@ -1,0 +1,39 @@
+#include "qiskit_baseline.hpp"
+
+#include <chrono>
+
+#include "support/logging.hpp"
+
+namespace qc {
+
+CompiledProgram
+QiskitBaselineMapper::compile(const Circuit &prog)
+{
+    auto t0 = std::chrono::steady_clock::now();
+
+    // Lexicographic (trivial) placement: program qubit i -> hardware
+    // qubit i, exactly what the paper observed Qiskit 0.5.7 doing.
+    std::vector<HwQubit> layout(prog.numQubits());
+    for (int q = 0; q < prog.numQubits(); ++q)
+        layout[q] = q;
+
+    // Fixed row-first shortest routes; no calibration input.
+    SchedulerOptions opts;
+    opts.policy = RoutingPolicy::OneBendPath;
+    opts.select = RouteSelect::Fixed;
+    opts.calibratedDurations = true; // hardware runs at real speed
+    opts.fixedJunctions.assign(prog.size(), -1);
+    for (size_t i = 0; i < prog.size(); ++i)
+        if (prog.gate(i).op == Op::CNOT)
+            opts.fixedJunctions[i] = 0;
+
+    CompiledProgram out = finalize(prog, std::move(layout), opts);
+    out.mapperName = name();
+    out.compileSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    return out;
+}
+
+} // namespace qc

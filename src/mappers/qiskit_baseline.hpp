@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Calibration-blind baseline modelling the IBM Qiskit 0.5.7 mapper the
+ * paper compares against (Sec. 7, Fig. 8a): program qubits are placed
+ * in lexicographic order onto hardware qubits without consulting CNOT
+ * or readout error rates, and CNOTs between non-adjacent qubits are
+ * routed along fixed shortest paths.
+ */
+
+#ifndef QC_MAPPERS_QISKIT_BASELINE_HPP
+#define QC_MAPPERS_QISKIT_BASELINE_HPP
+
+#include "mappers/mapper.hpp"
+
+namespace qc {
+
+/** The paper's industry-standard baseline. */
+class QiskitBaselineMapper : public Mapper
+{
+  public:
+    explicit QiskitBaselineMapper(const Machine &machine)
+        : Mapper(machine)
+    {
+    }
+
+    std::string name() const override { return "Qiskit"; }
+
+    CompiledProgram compile(const Circuit &prog) override;
+};
+
+} // namespace qc
+
+#endif // QC_MAPPERS_QISKIT_BASELINE_HPP

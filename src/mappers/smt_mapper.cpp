@@ -1,0 +1,119 @@
+#include "smt_mapper.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace qc {
+
+const char *
+smtVariantName(SmtVariant v)
+{
+    switch (v) {
+      case SmtVariant::TSmt: return "T-SMT";
+      case SmtVariant::TSmtStar: return "T-SMT*";
+      case SmtVariant::RSmtStar: return "R-SMT*";
+    }
+    QC_PANIC("unknown SMT variant");
+}
+
+SmtMapper::SmtMapper(const Machine &machine, SmtMapperOptions options)
+    : Mapper(machine), options_(options)
+{
+    // R-SMT* performs reliability optimization under one-bend paths
+    // (paper Sec. 4.4).
+    if (options_.variant == SmtVariant::RSmtStar)
+        options_.policy = RoutingPolicy::OneBendPath;
+}
+
+std::string
+SmtMapper::name() const
+{
+    std::ostringstream oss;
+    oss << smtVariantName(options_.variant);
+    if (options_.variant == SmtVariant::RSmtStar) {
+        oss << " w=" << options_.readoutWeight;
+    } else {
+        oss << " " << routingPolicyName(options_.policy);
+    }
+    return oss.str();
+}
+
+CompiledProgram
+SmtMapper::compile(const Circuit &prog)
+{
+    auto t0 = std::chrono::steady_clock::now();
+
+    SmtModelOptions model;
+    model.policy = options_.policy;
+    model.readoutWeight = options_.readoutWeight;
+    model.timeoutMs = options_.timeoutMs;
+    model.jointScheduling = options_.jointScheduling;
+    // The joint routing-overlap encoding grows quadratically in CNOT
+    // count; beyond paper-scale programs the reliability variant
+    // solves placement + junctions exactly and realizes the schedule
+    // with the list scheduler (identical objective value).
+    if (options_.variant == SmtVariant::RSmtStar &&
+        prog.cnotCount() > kJointSchedulingCnotLimit) {
+        model.jointScheduling = false;
+    }
+    switch (options_.variant) {
+      case SmtVariant::TSmt:
+        model.objective = SmtObjectiveKind::Duration;
+        model.calibrationAware = false;
+        break;
+      case SmtVariant::TSmtStar:
+        model.objective = SmtObjectiveKind::Duration;
+        model.calibrationAware = true;
+        break;
+      case SmtVariant::RSmtStar:
+        model.objective = SmtObjectiveKind::Reliability;
+        model.calibrationAware = true;
+        break;
+    }
+
+    SmtSolution sol = solveSmtMapping(machine_, prog, model);
+
+    std::vector<HwQubit> layout;
+    SchedulerOptions sched;
+    sched.policy = options_.policy;
+    sched.calibratedDurations = true; // executables run at real speed
+
+    if (sol.feasible) {
+        layout = sol.layout;
+        if (options_.policy == RoutingPolicy::OneBendPath &&
+            !sol.junctions.empty()) {
+            sched.select = RouteSelect::Fixed;
+            sched.fixedJunctions = sol.junctions;
+        } else {
+            sched.select =
+                options_.variant == SmtVariant::RSmtStar
+                    ? RouteSelect::BestReliability
+                    : RouteSelect::BestDuration;
+        }
+    } else {
+        // No model at all (hard timeout / unsat): fall back to the
+        // trivial placement so callers still get a runnable program.
+        QC_WARN("SMT solve failed (", sol.status,
+                ") for ", prog.name(), "; falling back to trivial layout");
+        layout.resize(prog.numQubits());
+        for (int q = 0; q < prog.numQubits(); ++q)
+            layout[q] = q;
+        sched.select = options_.variant == SmtVariant::RSmtStar
+                           ? RouteSelect::BestReliability
+                           : RouteSelect::BestDuration;
+    }
+
+    CompiledProgram out = finalize(prog, std::move(layout), sched);
+    out.mapperName = name();
+    out.solverOptimal = sol.optimal;
+    out.solverStatus = sol.status;
+    out.compileSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    return out;
+}
+
+} // namespace qc

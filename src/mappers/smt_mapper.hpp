@@ -1,0 +1,86 @@
+/**
+ * @file
+ * SMT-based optimal mappers: T-SMT, T-SMT* and R-SMT* (paper Sec. 4).
+ *
+ * All three share the Z3 constraint model in solver/smt_model.hpp and
+ * differ in objective and calibration use:
+ *  - T-SMT   minimizes duration with static durations and the
+ *            1000-slot average coherence bound,
+ *  - T-SMT*  minimizes duration with calibrated durations and
+ *            per-qubit coherence windows,
+ *  - R-SMT*  maximizes the weighted log-reliability (Eq. 12) under
+ *            the one-bend-path policy.
+ */
+
+#ifndef QC_MAPPERS_SMT_MAPPER_HPP
+#define QC_MAPPERS_SMT_MAPPER_HPP
+
+#include "mappers/mapper.hpp"
+#include "route/routing.hpp"
+#include "solver/smt_model.hpp"
+
+namespace qc {
+
+/** The three SMT rows of Table 1. */
+enum class SmtVariant {
+    TSmt,     ///< duration objective, calibration-unaware
+    TSmtStar, ///< duration objective, calibration-aware
+    RSmtStar, ///< reliability objective, calibration-aware
+};
+
+const char *smtVariantName(SmtVariant v);
+
+/** Per-instance configuration for SmtMapper. */
+struct SmtMapperOptions
+{
+    SmtVariant variant = SmtVariant::RSmtStar;
+
+    /** Routing policy (RR or 1BP); R-SMT* forces 1BP per the paper. */
+    RoutingPolicy policy = RoutingPolicy::OneBendPath;
+
+    /** Eq. 12 readout weight omega (R-SMT* only). */
+    double readoutWeight = 0.5;
+
+    /** Z3 budget; the best model found so far is used on timeout. */
+    unsigned timeoutMs = 60'000;
+
+    /**
+     * Encode scheduling/routing jointly with placement (the full
+     * paper formulation). Reliability solves may disable it for
+     * scalability sweeps; duration solves always encode jointly.
+     */
+    bool jointScheduling = true;
+};
+
+/**
+ * Largest CNOT count for which R-SMT* keeps the joint scheduling
+ * encoding; beyond it, placement+junctions are solved exactly and the
+ * list scheduler realizes start times (same objective value).
+ */
+inline constexpr int kJointSchedulingCnotLimit = 12;
+
+/**
+ * Optimal compilation through Z3.
+ *
+ * If the solver times out without any model, the mapper falls back to
+ * a trivial placement and flags solverOptimal = false with the Z3
+ * status recorded in solverStatus.
+ */
+class SmtMapper : public Mapper
+{
+  public:
+    SmtMapper(const Machine &machine, SmtMapperOptions options);
+
+    std::string name() const override;
+
+    CompiledProgram compile(const Circuit &prog) override;
+
+    const SmtMapperOptions &options() const { return options_; }
+
+  private:
+    SmtMapperOptions options_;
+};
+
+} // namespace qc
+
+#endif // QC_MAPPERS_SMT_MAPPER_HPP

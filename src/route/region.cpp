@@ -1,0 +1,59 @@
+#include "region.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace qc {
+
+Rect
+Rect::spanning(GridPos a, GridPos b)
+{
+    Rect r;
+    r.x0 = std::min(a.x, b.x);
+    r.x1 = std::max(a.x, b.x);
+    r.y0 = std::min(a.y, b.y);
+    r.y1 = std::max(a.y, b.y);
+    return r;
+}
+
+bool
+Rect::overlaps(const Rect &o) const
+{
+    // S(Ri, Rj) = not (li.x > rj.x or ri.x < lj.x or ...), Eq. 7.
+    return !(x0 > o.x1 || x1 < o.x0 || y0 > o.y1 || y1 < o.y0);
+}
+
+bool
+Rect::contains(GridPos p) const
+{
+    return p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+}
+
+std::string
+Rect::toString() const
+{
+    std::ostringstream oss;
+    oss << "[(" << x0 << "," << y0 << ")-(" << x1 << "," << y1 << ")]";
+    return oss.str();
+}
+
+bool
+Region::overlaps(const Region &other) const
+{
+    for (const auto &a : rects)
+        for (const auto &b : other.rects)
+            if (a.overlaps(b))
+                return true;
+    return false;
+}
+
+bool
+Region::contains(GridPos p) const
+{
+    for (const auto &r : rects)
+        if (r.contains(p))
+            return true;
+    return false;
+}
+
+} // namespace qc

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Spatial reservation geometry for CNOT routing (paper Sec. 4.3).
+ *
+ * Rectangle Reservation (RR) blocks the full bounding box of a CNOT's
+ * endpoints for its duration; One-Bend Paths (1BP) block only the two
+ * leg segments through the chosen junction. Two CNOTs may overlap in
+ * time only if their regions do not overlap in space (Eq. 7-9).
+ */
+
+#ifndef QC_ROUTE_REGION_HPP
+#define QC_ROUTE_REGION_HPP
+
+#include <string>
+#include <vector>
+
+#include "machine/topology.hpp"
+
+namespace qc {
+
+/** Inclusive axis-aligned grid rectangle. */
+struct Rect
+{
+    int x0 = 0;
+    int y0 = 0;
+    int x1 = 0;
+    int y1 = 0;
+
+    /** Normalized rect spanning two grid positions. */
+    static Rect spanning(GridPos a, GridPos b);
+
+    /** The paper's S(Ri, Rj) overlap predicate (Eq. 7). */
+    bool overlaps(const Rect &other) const;
+
+    bool contains(GridPos p) const;
+
+    int area() const { return (x1 - x0 + 1) * (y1 - y0 + 1); }
+
+    std::string toString() const;
+};
+
+/** Union of rectangles reserved by one routed CNOT. */
+struct Region
+{
+    std::vector<Rect> rects;
+
+    /** Pairwise rect overlap — the 1BP Overlap(i, j) check (Eq. 9). */
+    bool overlaps(const Region &other) const;
+
+    bool contains(GridPos p) const;
+
+    bool empty() const { return rects.empty(); }
+};
+
+} // namespace qc
+
+#endif // QC_ROUTE_REGION_HPP

@@ -1,0 +1,99 @@
+#include "routing.hpp"
+
+#include "support/logging.hpp"
+
+namespace qc {
+
+const char *
+routingPolicyName(RoutingPolicy p)
+{
+    switch (p) {
+      case RoutingPolicy::RectangleReservation: return "RR";
+      case RoutingPolicy::OneBendPath: return "1BP";
+    }
+    QC_PANIC("unknown routing policy");
+}
+
+Region
+routeRegion(const GridTopology &topo, const RoutePath &route,
+            RoutingPolicy policy)
+{
+    QC_ASSERT(route.nodes.size() >= 2, "route too short for a region");
+    Region region;
+    GridPos pc = topo.posOf(route.nodes.front());
+    GridPos pt = topo.posOf(route.nodes.back());
+
+    if (policy == RoutingPolicy::RectangleReservation) {
+        region.rects.push_back(Rect::spanning(pc, pt));
+        return region;
+    }
+
+    if (route.junction != kInvalidQubit) {
+        // One-bend route: a rectangle (degenerate line) per leg.
+        GridPos pj = topo.posOf(route.junction);
+        region.rects.push_back(Rect::spanning(pc, pj));
+        region.rects.push_back(Rect::spanning(pj, pt));
+        return region;
+    }
+
+    // Arbitrary (Dijkstra) path: cover each node cell.
+    for (HwQubit h : route.nodes) {
+        GridPos p = topo.posOf(h);
+        region.rects.push_back(Rect::spanning(p, p));
+    }
+    return region;
+}
+
+std::vector<MicroOp>
+expandRoute(const Machine &machine, const RoutePath &route,
+            Timeslot uniform_cnot)
+{
+    const auto &cal = machine.cal();
+    auto cnot_dur = [&](EdgeId e) {
+        return uniform_cnot >= 0 ? uniform_cnot : cal.cnotDuration[e];
+    };
+
+    std::vector<MicroOp> ops;
+    Timeslot t = 0;
+    const auto &nodes = route.nodes;
+    const auto &edges = route.edges;
+    const size_t d = edges.size();
+
+    // Forward SWAP chain: move the control along the path until it is
+    // adjacent to the target.
+    for (size_t i = 0; i + 1 < d; ++i) {
+        MicroOp op;
+        op.gate = {Op::Swap, nodes[i], nodes[i + 1], -1};
+        op.offset = t;
+        op.duration = 3 * cnot_dur(edges[i]);
+        op.isRouteSwap = true;
+        t += op.duration;
+        ops.push_back(op);
+    }
+
+    // The CNOT itself: the (moved) control now sits at nodes[d-1].
+    {
+        MicroOp op;
+        op.gate = {Op::CNOT, nodes[d - 1], nodes[d], -1};
+        op.offset = t;
+        op.duration = cnot_dur(edges[d - 1]);
+        t += op.duration;
+        ops.push_back(op);
+    }
+
+    // Restore SWAPs so the static placement stays valid afterwards
+    // (matches the 2*(d-1)*tau_swap duration model, Sec. 4.2).
+    for (size_t i = d - 1; i-- > 0;) {
+        MicroOp op;
+        op.gate = {Op::Swap, nodes[i + 1], nodes[i], -1};
+        op.offset = t;
+        op.duration = 3 * cnot_dur(edges[i]);
+        op.isRouteSwap = true;
+        t += op.duration;
+        ops.push_back(op);
+    }
+
+    return ops;
+}
+
+} // namespace qc

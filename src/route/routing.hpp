@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Routing policies and SWAP-chain expansion.
+ *
+ * Converts a chosen RoutePath into (a) the spatial Region it reserves
+ * under a given policy and (b) the hardware micro-operations (forward
+ * SWAPs, the CNOT, restore SWAPs) that realize it.
+ */
+
+#ifndef QC_ROUTE_ROUTING_HPP
+#define QC_ROUTE_ROUTING_HPP
+
+#include <vector>
+
+#include "ir/gate.hpp"
+#include "machine/machine.hpp"
+#include "route/region.hpp"
+
+namespace qc {
+
+/** The two routing policies of paper Sec. 4.3. */
+enum class RoutingPolicy {
+    RectangleReservation, ///< block the endpoints' bounding box
+    OneBendPath,          ///< block only the two bend legs
+};
+
+const char *routingPolicyName(RoutingPolicy p);
+
+/** How a mapper picks among candidate routes for each CNOT. */
+enum class RouteSelect {
+    BestReliability, ///< max EC one-bend route (R-SMT*)
+    BestDuration,    ///< min Delta one-bend route (T-SMT variants)
+    Dijkstra,        ///< most-reliable Dijkstra path (greedy heuristics)
+    Fixed,           ///< junction dictated per-CNOT by the SMT solver
+};
+
+/**
+ * Region reserved by a route under a policy.
+ *
+ * RR uses the endpoints' bounding rectangle regardless of the actual
+ * path; 1BP uses one rectangle per path leg (for Dijkstra paths, one
+ * cell-rectangle per node, the tightest conservative cover).
+ */
+Region routeRegion(const GridTopology &topo, const RoutePath &route,
+                   RoutingPolicy policy);
+
+/**
+ * One micro-operation of a routed CNOT.
+ *
+ * offset/duration position the op inside the macro-operation's time
+ * window; `gate` acts on hardware qubits.
+ */
+struct MicroOp
+{
+    Gate gate;
+    Timeslot offset = 0;
+    Timeslot duration = 0;
+    bool isRouteSwap = false;
+};
+
+/**
+ * Expand a route into micro-ops: SWAP along nodes[0..d-1], CNOT on the
+ * final edge, then SWAPs undone in reverse. Total duration equals the
+ * route's Delta entry.
+ *
+ * @param uniform_cnot if >= 0, use this duration for every CNOT slot
+ *                     (noise-unaware T-SMT model) instead of the
+ *                     calibrated per-edge durations.
+ */
+std::vector<MicroOp> expandRoute(const Machine &machine,
+                                 const RoutePath &route,
+                                 Timeslot uniform_cnot = -1);
+
+} // namespace qc
+
+#endif // QC_ROUTE_ROUTING_HPP

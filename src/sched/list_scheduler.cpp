@@ -1,0 +1,243 @@
+#include "list_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "ir/dag.hpp"
+#include "support/logging.hpp"
+
+namespace qc {
+
+void
+validateLayout(const std::vector<HwQubit> &layout, int n_prog, int n_hw)
+{
+    if (static_cast<int>(layout.size()) != n_prog)
+        QC_FATAL("layout arity ", layout.size(), " != program qubits ",
+                 n_prog);
+    std::vector<bool> used(n_hw, false);
+    for (HwQubit h : layout) {
+        if (h < 0 || h >= n_hw)
+            QC_FATAL("layout maps to out-of-range hardware qubit ", h);
+        if (used[h])
+            QC_FATAL("layout maps two program qubits to hardware qubit ",
+                     h);
+        used[h] = true;
+    }
+}
+
+ListScheduler::ListScheduler(const Machine &machine,
+                             SchedulerOptions options)
+    : machine_(machine), options_(std::move(options))
+{
+}
+
+RoutePath
+ListScheduler::chooseRoute(HwQubit c, HwQubit t, int gate_idx) const
+{
+    switch (options_.select) {
+      case RouteSelect::BestReliability:
+        return machine_.bestReliabilityPath(c, t);
+      case RouteSelect::BestDuration:
+        return machine_.bestDurationPath(c, t);
+      case RouteSelect::Dijkstra:
+        return machine_.dijkstraRoute(c, t);
+      case RouteSelect::Fixed: {
+        QC_ASSERT(gate_idx >= 0 &&
+                      gate_idx <
+                          static_cast<int>(options_.fixedJunctions.size()),
+                  "no fixed junction recorded for gate ", gate_idx);
+        int j = options_.fixedJunctions[gate_idx];
+        QC_ASSERT(j >= 0, "fixed junction missing for CNOT gate ",
+                  gate_idx);
+        j = std::min(j, machine_.numOneBendPaths(c, t) - 1);
+        return machine_.oneBendPath(c, t, j);
+      }
+    }
+    QC_PANIC("unknown route selection");
+}
+
+namespace {
+
+/** An active space-time reservation. */
+struct Reservation
+{
+    Region region;
+    Timeslot start;
+    Timeslot end;
+};
+
+} // namespace
+
+Schedule
+ListScheduler::run(const Circuit &prog,
+                   const std::vector<HwQubit> &layout) const
+{
+    const auto &topo = machine_.topo();
+    const auto &cal = machine_.cal();
+    validateLayout(layout, prog.numQubits(), topo.numQubits());
+
+    const Timeslot uniform_cnot =
+        options_.calibratedDurations ? -1 : machine_.uniformCnotDuration();
+
+    DependencyDag dag(prog);
+    const size_t n_gates = prog.size();
+
+    // Per-gate routing decisions, computed once.
+    struct GatePlan
+    {
+        std::vector<HwQubit> touched; ///< hw qubits whose time advances
+        Timeslot duration = 0;
+        RoutePath route;              ///< CNOTs only
+        Region region;                ///< CNOTs only
+        bool routed = false;
+    };
+    std::vector<GatePlan> plans(n_gates);
+    for (size_t i = 0; i < n_gates; ++i) {
+        const Gate &g = prog.gate(i);
+        GatePlan &plan = plans[i];
+        if (g.op == Op::CNOT) {
+            HwQubit c = layout[g.q0];
+            HwQubit t = layout[g.q1];
+            plan.route = chooseRoute(c, t, static_cast<int>(i));
+            if (uniform_cnot >= 0) {
+                plan.duration = machine_.uniformRouteDuration(
+                    static_cast<int>(plan.route.edges.size()));
+            } else {
+                plan.duration = plan.route.duration;
+            }
+            plan.region = routeRegion(topo, plan.route, options_.policy);
+            plan.touched = plan.route.nodes;
+            plan.routed = true;
+        } else if (g.isMeasure()) {
+            plan.duration = cal.readoutDuration;
+            plan.touched = {layout[g.q0]};
+        } else if (g.op == Op::Swap) {
+            QC_FATAL("program-level circuits must not contain Swap");
+        } else {
+            plan.duration = cal.oneQubitDuration;
+            plan.touched = {layout[g.q0]};
+        }
+    }
+
+    std::vector<Timeslot> qubit_avail(topo.numQubits(), 0);
+    std::vector<Timeslot> gate_finish(n_gates, 0);
+    std::vector<int> preds_left(n_gates, 0);
+    for (size_t i = 0; i < n_gates; ++i)
+        preds_left[i] = static_cast<int>(dag.preds(static_cast<int>(i))
+                                             .size());
+
+    std::vector<int> ready;
+    for (int r : dag.roots())
+        ready.push_back(r);
+
+    std::vector<Reservation> reservations;
+
+    auto feasible_start = [&](int gi) {
+        const GatePlan &plan = plans[gi];
+        Timeslot start = 0;
+        for (int p : dag.preds(gi))
+            start = std::max(start, gate_finish[p]);
+        for (HwQubit h : plan.touched)
+            start = std::max(start, qubit_avail[h]);
+        if (plan.routed) {
+            // Push past every spatially-overlapping reservation that
+            // would overlap in time (S(i,j) => !T(i,j), Eq. 7-9).
+            bool moved = true;
+            while (moved) {
+                moved = false;
+                for (const auto &res : reservations) {
+                    bool time_overlap = start < res.end &&
+                                        res.start < start + plan.duration;
+                    if (time_overlap &&
+                        plan.region.overlaps(res.region)) {
+                        start = res.end;
+                        moved = true;
+                    }
+                }
+            }
+        }
+        return start;
+    };
+
+    Schedule sched;
+    sched.numHwQubits = topo.numQubits();
+    sched.macros.resize(n_gates);
+    sched.qubitFinish.assign(topo.numQubits(), 0);
+
+    size_t scheduled = 0;
+    while (scheduled < n_gates) {
+        QC_ASSERT(!ready.empty(), "scheduler deadlock: no ready gates");
+
+        // Earliest-ready-gate-first: commit the ready gate with the
+        // smallest feasible start (ties: lowest index).
+        int best_gate = -1;
+        Timeslot best_start = std::numeric_limits<Timeslot>::max();
+        size_t best_pos = 0;
+        for (size_t k = 0; k < ready.size(); ++k) {
+            int gi = ready[k];
+            Timeslot s = feasible_start(gi);
+            if (s < best_start ||
+                (s == best_start && gi < best_gate)) {
+                best_start = s;
+                best_gate = gi;
+                best_pos = k;
+            }
+        }
+        ready.erase(ready.begin() + static_cast<long>(best_pos));
+
+        const Gate &g = prog.gate(best_gate);
+        const GatePlan &plan = plans[best_gate];
+        Timeslot start = best_start;
+        Timeslot finish = start + plan.duration;
+
+        sched.macros[best_gate] = {best_gate, start, plan.duration};
+        gate_finish[best_gate] = finish;
+
+        if (plan.routed) {
+            reservations.push_back({plan.region, start, finish});
+            for (const MicroOp &mop :
+                 expandRoute(machine_, plan.route, uniform_cnot)) {
+                TimedOp top;
+                top.gate = mop.gate;
+                top.start = start + mop.offset;
+                top.duration = mop.duration;
+                top.progGate = best_gate;
+                top.isRouteSwap = mop.isRouteSwap;
+                sched.ops.push_back(top);
+            }
+        } else {
+            TimedOp top;
+            top.gate = g;
+            top.gate.q0 = layout[g.q0];
+            top.start = start;
+            top.duration = plan.duration;
+            top.progGate = best_gate;
+            sched.ops.push_back(top);
+        }
+
+        for (HwQubit h : plan.touched)
+            qubit_avail[h] = finish;
+        sched.makespan = std::max(sched.makespan, finish);
+
+        for (int s : dag.succs(best_gate)) {
+            if (--preds_left[s] == 0)
+                ready.push_back(s);
+        }
+        ++scheduled;
+    }
+
+    // Last physical use of each qubit (macro windows are conservative
+    // for availability; decoherence accounting wants actual op times).
+    for (const auto &op : sched.ops) {
+        sched.qubitFinish[op.gate.q0] =
+            std::max(sched.qubitFinish[op.gate.q0], op.finish());
+        if (op.gate.isTwoQubit()) {
+            sched.qubitFinish[op.gate.q1] =
+                std::max(sched.qubitFinish[op.gate.q1], op.finish());
+        }
+    }
+
+    return sched;
+}
+
+} // namespace qc

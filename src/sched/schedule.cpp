@@ -1,0 +1,78 @@
+#include "schedule.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace qc {
+
+int
+Schedule::swapCount() const
+{
+    int n = 0;
+    for (const auto &op : ops)
+        if (op.gate.op == Op::Swap)
+            ++n;
+    return n;
+}
+
+int
+Schedule::hwCnotCount() const
+{
+    int n = 0;
+    for (const auto &op : ops) {
+        if (op.gate.op == Op::CNOT)
+            n += 1;
+        else if (op.gate.op == Op::Swap)
+            n += 3;
+    }
+    return n;
+}
+
+Circuit
+Schedule::toHwCircuit(const std::string &name, int n_clbits) const
+{
+    // Measurements are emitted after all unitary operations: a route
+    // SWAP may pass through an already-measured qubit (and restore
+    // it), which textual consumers of the flattened program would
+    // otherwise reject as mid-circuit measurement. The reordering is
+    // semantics-preserving because routes always restore positions.
+    Circuit hw(name, numHwQubits, n_clbits);
+    for (const auto &op : opsByStart())
+        if (!op.gate.isMeasure())
+            hw.add(op.gate);
+    for (const auto &op : opsByStart())
+        if (op.gate.isMeasure())
+            hw.add(op.gate);
+    return hw;
+}
+
+std::vector<CoherenceViolation>
+Schedule::coherenceViolations(const Calibration &cal,
+                              Timeslot static_limit) const
+{
+    std::vector<CoherenceViolation> vs;
+    for (HwQubit h = 0; h < numHwQubits; ++h) {
+        Timeslot last = qubitFinish[h];
+        if (last == 0)
+            continue; // qubit unused
+        Timeslot limit = static_limit >= 0 ? static_limit
+                                           : cal.coherenceSlots(h);
+        if (last > limit)
+            vs.push_back({h, last, limit});
+    }
+    return vs;
+}
+
+std::vector<TimedOp>
+Schedule::opsByStart() const
+{
+    std::vector<TimedOp> sorted = ops;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const TimedOp &a, const TimedOp &b) {
+                         return a.start < b.start;
+                     });
+    return sorted;
+}
+
+} // namespace qc

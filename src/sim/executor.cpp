@@ -1,0 +1,189 @@
+#include "executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+#include "support/stats.hpp"
+
+namespace qc {
+
+namespace {
+
+/** Dense relabeling of the hardware qubits a schedule touches. */
+struct Compaction
+{
+    std::vector<int> hwToSim; ///< -1 if unused
+    int count = 0;
+
+    explicit Compaction(int n_hw) : hwToSim(n_hw, -1) {}
+
+    int
+    require(HwQubit h)
+    {
+        if (hwToSim[h] < 0)
+            hwToSim[h] = count++;
+        return hwToSim[h];
+    }
+
+    int at(HwQubit h) const { return hwToSim[h]; }
+};
+
+} // namespace
+
+ExecutionResult
+runNoisy(const Machine &machine, const Schedule &schedule, int n_clbits,
+         const std::string &expected, const ExecutionOptions &options)
+{
+    const auto &topo = machine.topo();
+    const auto &cal = machine.cal();
+    const NoiseChannels noise(options.noise);
+
+    if (static_cast<int>(expected.size()) != n_clbits)
+        QC_FATAL("expected outcome '", expected, "' arity != ", n_clbits);
+
+    const auto ops = schedule.opsByStart();
+
+    Compaction compact(topo.numQubits());
+    for (const auto &op : ops) {
+        compact.require(op.gate.q0);
+        if (op.gate.isTwoQubit())
+            compact.require(op.gate.q1);
+    }
+    QC_ASSERT(compact.count >= 1, "empty schedule");
+
+    Rng rng(options.seed, "noisy-exec");
+    ExecutionResult result;
+    result.trials = options.trials;
+
+    for (int trial = 0; trial < options.trials; ++trial) {
+        Statevector sv(compact.count);
+        std::string clbits(static_cast<size_t>(n_clbits), '0');
+
+        for (const auto &op : ops) {
+            const Gate &g = op.gate;
+            switch (g.op) {
+              case Op::CNOT: {
+                int c = compact.at(g.q0);
+                int t = compact.at(g.q1);
+                sv.apply({Op::CNOT, c, t, -1});
+                EdgeId e = topo.edgeBetween(g.q0, g.q1);
+                QC_ASSERT(e != kInvalidEdge,
+                          "scheduled CNOT on non-adjacent qubits ", g.q0,
+                          ",", g.q1);
+                noise.depolarize2(sv, c, t, cal.cnotError[e], rng);
+                break;
+              }
+              case Op::Swap: {
+                int a = compact.at(g.q0);
+                int b = compact.at(g.q1);
+                sv.apply({Op::Swap, a, b, -1});
+                EdgeId e = topo.edgeBetween(g.q0, g.q1);
+                QC_ASSERT(e != kInvalidEdge,
+                          "scheduled SWAP on non-adjacent qubits");
+                // A SWAP is three CNOTs; draw three error events.
+                for (int k = 0; k < 3; ++k)
+                    noise.depolarize2(sv, a, b, cal.cnotError[e], rng);
+                break;
+              }
+              case Op::Measure: {
+                int q = compact.at(g.q0);
+                noise.decohere(sv, q, op.start, cal.t1Us[g.q0],
+                               cal.t2Us[g.q0], rng);
+                int bit = sv.measure(q, rng);
+                bit = noise.readoutFlip(bit, cal.readoutError[g.q0],
+                                        rng);
+                clbits[g.cbit] = static_cast<char>('0' + bit);
+                break;
+              }
+              default: {
+                int q = compact.at(g.q0);
+                sv.apply({g.op, q, kInvalidQubit, -1});
+                noise.depolarize1(sv, q, cal.oneQubitError, rng);
+                break;
+              }
+            }
+        }
+
+        result.counts[clbits] += 1;
+        if (clbits == expected)
+            result.successes += 1;
+    }
+
+    result.successRate = static_cast<double>(result.successes) /
+                         static_cast<double>(result.trials);
+    result.halfWidth95 =
+        binomialHalfWidth(result.successRate, result.trials);
+    return result;
+}
+
+std::map<std::string, double>
+idealDistribution(const Circuit &circuit)
+{
+    Compaction compact(circuit.numQubits());
+    std::vector<bool> measured(circuit.numQubits(), false);
+    std::vector<std::pair<int, int>> meas; // (sim qubit, cbit)
+
+    for (const auto &g : circuit.gates()) {
+        if (g.isMeasure()) {
+            compact.require(g.q0);
+            measured[g.q0] = true;
+        } else {
+            if (measured[g.q0] || (g.isTwoQubit() && measured[g.q1]))
+                QC_FATAL("mid-circuit measurement is unsupported in ",
+                         circuit.name());
+            compact.require(g.q0);
+            if (g.isTwoQubit())
+                compact.require(g.q1);
+        }
+    }
+    QC_ASSERT(compact.count >= 1, "empty circuit");
+
+    Statevector sv(compact.count);
+    for (const auto &g : circuit.gates()) {
+        if (g.isMeasure()) {
+            meas.push_back({compact.at(g.q0), g.cbit});
+            continue;
+        }
+        Gate mapped = g;
+        mapped.q0 = compact.at(g.q0);
+        if (g.isTwoQubit())
+            mapped.q1 = compact.at(g.q1);
+        sv.apply(mapped);
+    }
+
+    std::map<std::string, double> dist;
+    const auto probs = sv.probabilities();
+    for (std::uint64_t basis = 0; basis < probs.size(); ++basis) {
+        if (probs[basis] < 1e-15)
+            continue;
+        std::string key(static_cast<size_t>(circuit.numClbits()), '0');
+        for (const auto &[simq, cbit] : meas) {
+            if (basis & (std::uint64_t{1} << simq))
+                key[cbit] = '1';
+        }
+        dist[key] += probs[basis];
+    }
+    return dist;
+}
+
+std::string
+idealOutcome(const Circuit &circuit, double min_prob)
+{
+    auto dist = idealDistribution(circuit);
+    std::string best;
+    double best_p = -1.0;
+    for (const auto &[key, p] : dist) {
+        if (p > best_p) {
+            best_p = p;
+            best = key;
+        }
+    }
+    if (best_p < min_prob)
+        QC_FATAL("circuit ", circuit.name(),
+                 " has no deterministic outcome (top probability ",
+                 best_p, ")");
+    return best;
+}
+
+} // namespace qc

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Monte-Carlo executor: runs a scheduled hardware program for many
+ * trials under the calibration-derived noise model and reports the
+ * success rate — the paper's primary metric (fraction of 8192 IBMQ16
+ * trials returning the correct answer, Sec. 6 "Metrics").
+ */
+
+#ifndef QC_SIM_EXECUTOR_HPP
+#define QC_SIM_EXECUTOR_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "ir/circuit.hpp"
+#include "machine/machine.hpp"
+#include "sched/schedule.hpp"
+#include "sim/noise_model.hpp"
+
+namespace qc {
+
+/** Executor configuration. */
+struct ExecutionOptions
+{
+    int trials = 2048;           ///< Monte-Carlo repetitions
+    std::uint64_t seed = 1;      ///< trial-noise RNG seed
+    NoiseOptions noise;          ///< channel switches
+};
+
+/** Aggregate result of one Monte-Carlo execution. */
+struct ExecutionResult
+{
+    int trials = 0;
+    int successes = 0;
+    double successRate = 0.0;
+    double halfWidth95 = 0.0; ///< 95% binomial confidence half-width
+    std::map<std::string, int> counts; ///< outcome histogram
+};
+
+/**
+ * Execute a compiled schedule for `options.trials` trials.
+ *
+ * Per trial: ops run in start order; CNOTs draw per-edge depolarizing
+ * errors (SWAPs as 3 CNOTs); single-qubit gates draw the device rate;
+ * each measured qubit decoheres for its scheduled lifetime, is
+ * measured, and its classical bit may flip with the qubit's readout
+ * error. A trial succeeds when the classical bits equal `expected`
+ * (string indexed by classical bit, '0'/'1'; positions never written
+ * are compared as '0').
+ */
+ExecutionResult runNoisy(const Machine &machine, const Schedule &schedule,
+                         int n_clbits, const std::string &expected,
+                         const ExecutionOptions &options);
+
+/**
+ * Noise-free outcome distribution of a circuit over its classical
+ * bits. Works for both program-level and hardware-level circuits.
+ * Keys are classical-bit strings (index 0 first); values sum to 1.
+ */
+std::map<std::string, double> idealDistribution(const Circuit &circuit);
+
+/**
+ * The deterministic noise-free outcome of a circuit. Throws
+ * FatalError if the top outcome's probability is below `min_prob`
+ * (i.e. the circuit is not verifiable by exact match).
+ */
+std::string idealOutcome(const Circuit &circuit, double min_prob = 0.999);
+
+} // namespace qc
+
+#endif // QC_SIM_EXECUTOR_HPP

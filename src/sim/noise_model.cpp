@@ -1,0 +1,61 @@
+#include "noise_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qc {
+
+double
+NoiseChannels::scaled(double p) const
+{
+    return std::clamp(p * options_.errorScale, 0.0, 1.0);
+}
+
+void
+NoiseChannels::depolarize1(Statevector &sv, int q, double p,
+                           Rng &rng) const
+{
+    if (!options_.gateErrors || !rng.bernoulli(scaled(p)))
+        return;
+    static const Pauli kPaulis[3] = {Pauli::X, Pauli::Y, Pauli::Z};
+    sv.applyPauli(kPaulis[rng.uniformInt(0, 2)], q);
+}
+
+void
+NoiseChannels::depolarize2(Statevector &sv, int q0, int q1, double p,
+                           Rng &rng) const
+{
+    if (!options_.gateErrors || !rng.bernoulli(scaled(p)))
+        return;
+    // Uniform non-identity two-qubit Pauli: index in [1, 15].
+    int k = rng.uniformInt(1, 15);
+    static const Pauli kPaulis[4] = {Pauli::I, Pauli::X, Pauli::Y,
+                                     Pauli::Z};
+    sv.applyPauli(kPaulis[k & 3], q0);
+    sv.applyPauli(kPaulis[(k >> 2) & 3], q1);
+}
+
+void
+NoiseChannels::decohere(Statevector &sv, int q, Timeslot elapsed,
+                        double t1_us, double t2_us, Rng &rng) const
+{
+    if (!options_.decoherence || elapsed <= 0)
+        return;
+    double t_us = static_cast<double>(elapsed) * kTimeslotNs / 1000.0;
+    double p_relax = 0.5 * (1.0 - std::exp(-t_us / t1_us));
+    double p_phase = 0.5 * (1.0 - std::exp(-t_us / t2_us));
+    if (rng.bernoulli(scaled(p_relax)))
+        sv.applyPauli(Pauli::X, q);
+    if (rng.bernoulli(scaled(p_phase)))
+        sv.applyPauli(Pauli::Z, q);
+}
+
+int
+NoiseChannels::readoutFlip(int bit, double readout_error, Rng &rng) const
+{
+    if (!options_.readoutErrors)
+        return bit;
+    return rng.bernoulli(scaled(readout_error)) ? 1 - bit : bit;
+}
+
+} // namespace qc

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Stochastic (Monte-Carlo trajectory) noise channels driven by the
+ * same calibration data the compiler consumes:
+ *  - depolarizing Pauli errors after every CNOT (per-edge rate) and
+ *    single-qubit gate (device-wide rate); SWAPs are 3 CNOTs,
+ *  - T1/T2 decoherence applied to each qubit for the time it has been
+ *    alive when it is read out (Pauli-twirl approximation),
+ *  - classical readout bit-flips (per-qubit rate).
+ */
+
+#ifndef QC_SIM_NOISE_MODEL_HPP
+#define QC_SIM_NOISE_MODEL_HPP
+
+#include "machine/calibration.hpp"
+#include "sim/statevector.hpp"
+#include "support/rng.hpp"
+#include "support/types.hpp"
+
+namespace qc {
+
+/** Noise-injection switches (all on by default). */
+struct NoiseOptions
+{
+    bool gateErrors = true;
+    bool decoherence = true;
+    bool readoutErrors = true;
+
+    /** Multiplies every error probability (ablation knob). */
+    double errorScale = 1.0;
+};
+
+/**
+ * Stateless noise-channel sampler.
+ *
+ * Each method perturbs a statevector (or classical bit) according to
+ * one calibration-derived error mechanism. Simulator qubit indices
+ * are the caller's (compacted) indices; probabilities come from the
+ * caller, which owns the hardware-qubit translation.
+ */
+class NoiseChannels
+{
+  public:
+    explicit NoiseChannels(NoiseOptions options) : options_(options) {}
+
+    const NoiseOptions &options() const { return options_; }
+
+    /** Depolarizing after a 1-qubit gate: uniform {X,Y,Z} w.p. p. */
+    void depolarize1(Statevector &sv, int q, double p, Rng &rng) const;
+
+    /**
+     * Depolarizing after a CNOT: one of the 15 non-identity two-qubit
+     * Paulis w.p. p.
+     */
+    void depolarize2(Statevector &sv, int q0, int q1, double p,
+                     Rng &rng) const;
+
+    /**
+     * T1/T2 decay of a qubit that has been alive for `elapsed` slots:
+     * X w.p. (1 - exp(-t/T1))/2 and Z w.p. (1 - exp(-t/T2))/2
+     * (stochastic Pauli twirl of amplitude/phase damping).
+     */
+    void decohere(Statevector &sv, int q, Timeslot elapsed, double t1_us,
+                  double t2_us, Rng &rng) const;
+
+    /** Classical readout flip w.p. the qubit's readout error. */
+    int readoutFlip(int bit, double readout_error, Rng &rng) const;
+
+  private:
+    double scaled(double p) const;
+
+    NoiseOptions options_;
+};
+
+} // namespace qc
+
+#endif // QC_SIM_NOISE_MODEL_HPP

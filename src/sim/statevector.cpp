@@ -1,0 +1,177 @@
+#include "statevector.hpp"
+
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace qc {
+
+namespace {
+
+constexpr int kMaxQubits = 24;
+const std::complex<double> kI(0.0, 1.0);
+
+} // namespace
+
+Statevector::Statevector(int n) : n_(n)
+{
+    if (n <= 0 || n > kMaxQubits)
+        QC_FATAL("statevector size ", n, " outside [1, ", kMaxQubits,
+                 "]");
+    amps_.assign(std::uint64_t{1} << n, {0.0, 0.0});
+    amps_[0] = {1.0, 0.0};
+}
+
+void
+Statevector::apply1q(int q, std::complex<double> m00,
+                     std::complex<double> m01, std::complex<double> m10,
+                     std::complex<double> m11)
+{
+    QC_ASSERT(q >= 0 && q < n_, "qubit ", q, " out of range");
+    const std::uint64_t bit = std::uint64_t{1} << q;
+    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
+        if (i & bit)
+            continue;
+        std::complex<double> a0 = amps_[i];
+        std::complex<double> a1 = amps_[i | bit];
+        amps_[i] = m00 * a0 + m01 * a1;
+        amps_[i | bit] = m10 * a0 + m11 * a1;
+    }
+}
+
+void
+Statevector::applyCnot(int c, int t)
+{
+    QC_ASSERT(c != t && c >= 0 && c < n_ && t >= 0 && t < n_,
+              "bad CNOT operands");
+    const std::uint64_t cbit = std::uint64_t{1} << c;
+    const std::uint64_t tbit = std::uint64_t{1} << t;
+    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
+        if ((i & cbit) && !(i & tbit))
+            std::swap(amps_[i], amps_[i | tbit]);
+    }
+}
+
+void
+Statevector::applySwap(int a, int b)
+{
+    QC_ASSERT(a != b && a >= 0 && a < n_ && b >= 0 && b < n_,
+              "bad SWAP operands");
+    const std::uint64_t abit = std::uint64_t{1} << a;
+    const std::uint64_t bbit = std::uint64_t{1} << b;
+    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
+        bool ba = i & abit;
+        bool bb = i & bbit;
+        if (ba && !bb)
+            std::swap(amps_[i], amps_[(i ^ abit) | bbit]);
+    }
+}
+
+void
+Statevector::apply(const Gate &g)
+{
+    const double s = 1.0 / std::sqrt(2.0);
+    switch (g.op) {
+      case Op::H:
+        apply1q(g.q0, s, s, s, -s);
+        break;
+      case Op::X:
+        apply1q(g.q0, 0, 1, 1, 0);
+        break;
+      case Op::Y:
+        apply1q(g.q0, 0, -kI, kI, 0);
+        break;
+      case Op::Z:
+        apply1q(g.q0, 1, 0, 0, -1);
+        break;
+      case Op::S:
+        apply1q(g.q0, 1, 0, 0, kI);
+        break;
+      case Op::Sdg:
+        apply1q(g.q0, 1, 0, 0, -kI);
+        break;
+      case Op::T:
+        apply1q(g.q0, 1, 0, 0, std::exp(kI * (M_PI / 4.0)));
+        break;
+      case Op::Tdg:
+        apply1q(g.q0, 1, 0, 0, std::exp(-kI * (M_PI / 4.0)));
+        break;
+      case Op::CNOT:
+        applyCnot(g.q0, g.q1);
+        break;
+      case Op::Swap:
+        applySwap(g.q0, g.q1);
+        break;
+      case Op::Measure:
+        QC_PANIC("use Statevector::measure for measurements");
+    }
+}
+
+void
+Statevector::applyPauli(Pauli p, int q)
+{
+    switch (p) {
+      case Pauli::I:
+        break;
+      case Pauli::X:
+        apply1q(q, 0, 1, 1, 0);
+        break;
+      case Pauli::Y:
+        apply1q(q, 0, -kI, kI, 0);
+        break;
+      case Pauli::Z:
+        apply1q(q, 1, 0, 0, -1);
+        break;
+    }
+}
+
+double
+Statevector::probOne(int q) const
+{
+    QC_ASSERT(q >= 0 && q < n_, "qubit ", q, " out of range");
+    const std::uint64_t bit = std::uint64_t{1} << q;
+    double p = 0.0;
+    for (std::uint64_t i = 0; i < amps_.size(); ++i)
+        if (i & bit)
+            p += std::norm(amps_[i]);
+    return p;
+}
+
+int
+Statevector::measure(int q, Rng &rng)
+{
+    double p1 = probOne(q);
+    int outcome = rng.bernoulli(p1) ? 1 : 0;
+    const std::uint64_t bit = std::uint64_t{1} << q;
+    double keep_prob = outcome ? p1 : 1.0 - p1;
+    double scale =
+        keep_prob > 1e-300 ? 1.0 / std::sqrt(keep_prob) : 0.0;
+    for (std::uint64_t i = 0; i < amps_.size(); ++i) {
+        bool is_one = (i & bit) != 0;
+        if (is_one == (outcome == 1))
+            amps_[i] *= scale;
+        else
+            amps_[i] = {0.0, 0.0};
+    }
+    return outcome;
+}
+
+std::vector<double>
+Statevector::probabilities() const
+{
+    std::vector<double> ps(amps_.size());
+    for (std::uint64_t i = 0; i < amps_.size(); ++i)
+        ps[i] = std::norm(amps_[i]);
+    return ps;
+}
+
+double
+Statevector::norm() const
+{
+    double s = 0.0;
+    for (const auto &a : amps_)
+        s += std::norm(a);
+    return s;
+}
+
+} // namespace qc

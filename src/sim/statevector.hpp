@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Dense statevector simulator for the compiler's gate set.
+ *
+ * Stands in for the quantum hardware when measuring success rates
+ * (DESIGN.md substitution table): the paper executed compiled programs
+ * on IBMQ16; we execute them on this simulator under the identical
+ * calibration-derived noise parameters.
+ */
+
+#ifndef QC_SIM_STATEVECTOR_HPP
+#define QC_SIM_STATEVECTOR_HPP
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "ir/gate.hpp"
+#include "support/rng.hpp"
+
+namespace qc {
+
+/** Pauli operators for stochastic noise injection. */
+enum class Pauli { I, X, Y, Z };
+
+/**
+ * State of n qubits as 2^n complex amplitudes (little-endian: qubit q
+ * is bit q of the basis index). n is capped at 24 to bound memory.
+ */
+class Statevector
+{
+  public:
+    /** Initialize to |0...0>. */
+    explicit Statevector(int n);
+
+    int numQubits() const { return n_; }
+    std::uint64_t dimension() const { return amps_.size(); }
+
+    std::complex<double> amp(std::uint64_t basis) const
+    {
+        return amps_[basis];
+    }
+
+    /** Apply a unitary gate (Measure is rejected; use measure()). */
+    void apply(const Gate &g);
+
+    /** Apply a single Pauli (noise injection). */
+    void applyPauli(Pauli p, int q);
+
+    /** Probability that qubit q reads 1. */
+    double probOne(int q) const;
+
+    /** Measure qubit q, collapsing the state; returns the outcome. */
+    int measure(int q, Rng &rng);
+
+    /** Probability of each full basis state. */
+    std::vector<double> probabilities() const;
+
+    /** Squared norm (should stay 1 up to rounding). */
+    double norm() const;
+
+  private:
+    void apply1q(int q, std::complex<double> m00, std::complex<double> m01,
+                 std::complex<double> m10, std::complex<double> m11);
+    void applyCnot(int c, int t);
+    void applySwap(int a, int b);
+
+    int n_;
+    std::vector<std::complex<double>> amps_;
+};
+
+} // namespace qc
+
+#endif // QC_SIM_STATEVECTOR_HPP

@@ -1,0 +1,74 @@
+#include "objective.hpp"
+
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace qc {
+
+std::int64_t
+scaledLog(double reliability)
+{
+    QC_ASSERT(reliability > 0.0 && reliability <= 1.0,
+              "reliability out of (0, 1]: ", reliability);
+    return static_cast<std::int64_t>(
+        std::llround(std::log(reliability) * kLogScale));
+}
+
+double
+ReliabilityBreakdown::successEstimate() const
+{
+    return std::exp(readoutLog + cnotLog);
+}
+
+ReliabilityBreakdown
+evaluateReliability(const Circuit &prog,
+                    const std::vector<HwQubit> &layout,
+                    const Machine &machine,
+                    const std::vector<int> *junctions)
+{
+    ReliabilityBreakdown out;
+    const auto &cal = machine.cal();
+    for (size_t i = 0; i < prog.size(); ++i) {
+        const Gate &g = prog.gate(i);
+        if (g.op == Op::CNOT) {
+            HwQubit c = layout[g.q0];
+            HwQubit t = layout[g.q1];
+            double rel;
+            if (junctions && (*junctions)[i] >= 0) {
+                int j = std::min((*junctions)[i],
+                                 machine.numOneBendPaths(c, t) - 1);
+                rel = machine.oneBendPath(c, t, j).reliability;
+            } else {
+                rel = machine.bestPathReliability(c, t);
+            }
+            out.cnotLog += std::log(rel);
+        } else if (g.isMeasure()) {
+            out.readoutLog +=
+                std::log(cal.readoutReliability(layout[g.q0]));
+        }
+    }
+    return out;
+}
+
+OrderedCnotWeights::OrderedCnotWeights(const Circuit &prog)
+    : n_(prog.numQubits()),
+      w_(static_cast<size_t>(n_) * n_, 0),
+      readouts_(n_, 0)
+{
+    for (const auto &g : prog.gates()) {
+        if (g.op == Op::CNOT)
+            w_[static_cast<size_t>(g.q0) * n_ + g.q1] += 1;
+        else if (g.isMeasure())
+            readouts_[g.q0] += 1;
+    }
+    for (int a = 0; a < n_; ++a) {
+        for (int b = 0; b < n_; ++b) {
+            int cnt = w_[static_cast<size_t>(a) * n_ + b];
+            if (cnt > 0)
+                entries_.push_back({a, b, cnt});
+        }
+    }
+}
+
+} // namespace qc

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Z3 encoding of the paper's constrained-optimization compilation
+ * problem (Sec. 4): qubit-mapping constraints (1-2), gate-scheduling
+ * dependencies (3), duration/coherence constraints (4-6), routing
+ * non-overlap for RR and 1BP policies (7-9), reliability tracking
+ * (10-11), and the duration or weighted log-reliability objective
+ * (Eq. 12), solved with z3::optimize (the nuZ engine the paper cites).
+ */
+
+#ifndef QC_SOLVER_SMT_MODEL_HPP
+#define QC_SOLVER_SMT_MODEL_HPP
+
+#include <string>
+#include <vector>
+
+#include "ir/circuit.hpp"
+#include "machine/machine.hpp"
+#include "route/routing.hpp"
+
+namespace qc {
+
+/** Which objective the SMT model optimizes. */
+enum class SmtObjectiveKind {
+    Duration,    ///< minimize program makespan (T-SMT, T-SMT*)
+    Reliability, ///< maximize Eq. 12 (R-SMT*)
+};
+
+/** Configuration of one SMT solve. */
+struct SmtModelOptions
+{
+    SmtObjectiveKind objective = SmtObjectiveKind::Reliability;
+
+    /**
+     * true  = use per-edge calibrated durations and per-qubit T2
+     *         (T-SMT*, R-SMT*; constraints 5-6),
+     * false = nominal uniform durations and the 1000-slot machine
+     *         average coherence bound (T-SMT; constraint 4).
+     */
+    bool calibrationAware = true;
+
+    /** Routing policy for duration tables and overlap constraints. */
+    RoutingPolicy policy = RoutingPolicy::OneBendPath;
+
+    /** Eq. 12's readout weight omega (Reliability objective only). */
+    double readoutWeight = 0.5;
+
+    /** Z3 wall-clock budget; best-found model is used on timeout. */
+    unsigned timeoutMs = 60'000;
+
+    /**
+     * true = encode start times, routing overlap and coherence jointly
+     * with placement (the paper's full formulation). false = placement
+     * and reliability constraints only, with scheduling realized by
+     * the list scheduler afterwards — a compile-time escape hatch for
+     * large synthetic programs (Fig. 11's scalability sweep).
+     */
+    bool jointScheduling = true;
+};
+
+/** Outcome of an SMT solve. */
+struct SmtSolution
+{
+    bool feasible = false; ///< a model satisfying all constraints exists
+    bool optimal = false;  ///< Z3 proved optimality before the timeout
+    std::vector<HwQubit> layout; ///< program qubit -> hardware qubit
+    std::vector<int> junctions;  ///< per gate: one-bend route index, -1
+    double solveSeconds = 0.0;
+    std::string status;          ///< Z3 result string for reports
+};
+
+/**
+ * Build and solve the SMT mapping model for one circuit on one
+ * machine-day. Throws FatalError if the program cannot fit.
+ */
+SmtSolution solveSmtMapping(const Machine &machine, const Circuit &prog,
+                            const SmtModelOptions &options);
+
+} // namespace qc
+
+#endif // QC_SOLVER_SMT_MODEL_HPP

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Error-reporting helpers in the spirit of gem5's logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a library bug); aborts.
+ * fatal()  — the user supplied an impossible configuration; throws
+ *            qc::FatalError so callers and tests can recover.
+ * warn()   — something is suspicious but execution can continue.
+ */
+
+#ifndef QC_SUPPORT_LOGGING_HPP
+#define QC_SUPPORT_LOGGING_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace qc {
+
+/** Exception thrown by fatal(): a user-recoverable configuration error. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+
+/** Fold a mixed argument pack into one string. */
+template <typename... Args>
+std::string
+formatMessage(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace detail
+} // namespace qc
+
+/** Abort with a message: library invariant broken. */
+#define QC_PANIC(...) \
+    ::qc::detail::panicImpl(__FILE__, __LINE__, \
+                            ::qc::detail::formatMessage(__VA_ARGS__))
+
+/** Throw qc::FatalError: invalid user input or configuration. */
+#define QC_FATAL(...) \
+    ::qc::detail::fatalImpl(::qc::detail::formatMessage(__VA_ARGS__))
+
+/** Print a warning to stderr and continue. */
+#define QC_WARN(...) \
+    ::qc::detail::warnImpl(::qc::detail::formatMessage(__VA_ARGS__))
+
+/** Panic unless a library invariant holds. */
+#define QC_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            QC_PANIC("assertion failed: " #cond " ", \
+                     ::qc::detail::formatMessage(__VA_ARGS__)); \
+        } \
+    } while (0)
+
+#endif // QC_SUPPORT_LOGGING_HPP

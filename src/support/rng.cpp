@@ -1,0 +1,78 @@
+#include "rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace qc {
+
+namespace {
+
+/** Mix a base seed with a stream name, splitmix-style. */
+std::uint64_t
+mixSeed(std::uint64_t seed, const std::string &stream)
+{
+    std::uint64_t h = seed ^ 0x9e3779b97f4a7c15ULL;
+    for (unsigned char c : stream) {
+        h ^= c;
+        h *= 0xff51afd7ed558ccdULL;
+        h ^= h >> 33;
+    }
+    return h;
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed, const std::string &stream)
+    : engine_(mixSeed(seed, stream))
+{
+}
+
+double
+Rng::uniform()
+{
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+int
+Rng::uniformInt(int lo, int hi)
+{
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+}
+
+double
+Rng::normal()
+{
+    return std::normal_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+double
+Rng::lognormalClamped(double median, double sigma, double lo, double hi)
+{
+    double v = median * std::exp(normal(0.0, sigma));
+    return std::clamp(v, lo, hi);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+} // namespace qc

@@ -1,0 +1,97 @@
+#include "stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "logging.hpp"
+
+namespace qc {
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(xs.size()));
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double s = 0.0;
+    for (double x : xs) {
+        QC_ASSERT(x > 0.0, "geomean requires positive samples");
+        s += std::log(x);
+    }
+    return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double
+spreadRatio(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 1.0;
+    double lo = minOf(xs);
+    double hi = maxOf(xs);
+    QC_ASSERT(lo > 0.0, "spreadRatio requires positive samples");
+    return hi / lo;
+}
+
+double
+minOf(const std::vector<double> &xs)
+{
+    double m = std::numeric_limits<double>::infinity();
+    for (double x : xs)
+        m = std::min(m, x);
+    return m;
+}
+
+double
+maxOf(const std::vector<double> &xs)
+{
+    double m = -std::numeric_limits<double>::infinity();
+    for (double x : xs)
+        m = std::max(m, x);
+    return m;
+}
+
+double
+median(std::vector<double> xs)
+{
+    if (xs.empty())
+        return 0.0;
+    std::sort(xs.begin(), xs.end());
+    size_t n = xs.size();
+    if (n % 2 == 1)
+        return xs[n / 2];
+    return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double
+binomialHalfWidth(double p, int trials, double z)
+{
+    if (trials <= 0)
+        return 1.0;
+    double n = static_cast<double>(trials);
+    return z * std::sqrt(std::max(p * (1.0 - p), 1e-12) / n);
+}
+
+} // namespace qc

@@ -1,0 +1,65 @@
+#include "table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "logging.hpp"
+
+namespace qc {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    QC_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    QC_ASSERT(cells.size() == headers_.size(),
+              "row arity ", cells.size(), " != header arity ",
+              headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emitRow = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << "  " << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c];
+        }
+        os << "\n";
+    };
+
+    emitRow(headers_);
+    for (size_t c = 0; c < headers_.size(); ++c)
+        os << "  " << std::string(widths[c], '-');
+    os << "\n";
+    for (const auto &row : rows_)
+        emitRow(row);
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+std::string
+Table::fmt(long long v)
+{
+    return std::to_string(v);
+}
+
+} // namespace qc

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * ASCII table printer used by the bench harnesses to render
+ * paper-style tables and figure series.
+ */
+
+#ifndef QC_SUPPORT_TABLE_HPP
+#define QC_SUPPORT_TABLE_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace qc {
+
+/**
+ * Column-aligned ASCII table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"Benchmark", "Qiskit", "R-SMT*"});
+ *   t.addRow({"BV4", "0.31", "0.78"});
+ *   t.print(std::cout);
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column alignment and a header rule. */
+    void print(std::ostream &os) const;
+
+    size_t numRows() const { return rows_.size(); }
+
+    /** Format a double with the given precision. */
+    static std::string fmt(double v, int precision = 3);
+
+    /** Format an integer. */
+    static std::string fmt(long long v);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace qc
+
+#endif // QC_SUPPORT_TABLE_HPP

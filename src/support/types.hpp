@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fundamental type aliases shared across the noise-adaptive compiler.
+ */
+
+#ifndef QC_SUPPORT_TYPES_HPP
+#define QC_SUPPORT_TYPES_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace qc {
+
+/** Index of a program (logical) qubit within a circuit. */
+using ProgQubit = int;
+
+/** Index of a hardware (physical) qubit within a machine topology. */
+using HwQubit = int;
+
+/** Index of an undirected coupling edge in a machine topology. */
+using EdgeId = int;
+
+/** Discrete machine time, in IBMQ16-style 80 ns timeslots. */
+using Timeslot = std::int64_t;
+
+/** Sentinel for "no qubit / unmapped". */
+inline constexpr int kInvalidQubit = -1;
+
+/** Sentinel for "no edge". */
+inline constexpr EdgeId kInvalidEdge = -1;
+
+/** Duration of one timeslot in nanoseconds (IBMQ16 granularity). */
+inline constexpr double kTimeslotNs = 80.0;
+
+} // namespace qc
+
+#endif // QC_SUPPORT_TYPES_HPP

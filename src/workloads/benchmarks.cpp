@@ -1,0 +1,340 @@
+#include "benchmarks.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace qc {
+
+namespace {
+
+/**
+ * Linear-nearest-neighbor Toffoli: target ^= a AND b using only the
+ * couplings (a, b) and (b, target) — 8 CNOTs, no (a, target) edge.
+ *
+ * Realizes CCZ through the phase-polynomial identity
+ *   4*abc = a + b + c - (a^b) - (a^c) - (b^c) + (a^b^c)
+ * with a CNOT parity ladder along the a-b-target chain, conjugated by
+ * H on the target.
+ */
+void
+lnnToffoli(Circuit &c, int a, int b, int t)
+{
+    c.h(t);
+    c.t(a);
+    c.t(b);
+    c.t(t);
+    c.cnot(a, b); // b = a^b
+    c.tdg(b);
+    c.cnot(b, t); // t = a^b^c
+    c.t(t);
+    c.cnot(a, b); // b = b
+    c.cnot(b, t); // t = a^c
+    c.tdg(t);
+    c.cnot(a, b); // b = a^b
+    c.cnot(b, t); // t = b^c
+    c.tdg(t);
+    c.cnot(a, b); // b = b
+    c.cnot(b, t); // t = c
+    c.h(t);
+}
+
+/** Controlled-phase(-pi/2). */
+void
+cphaseDag(Circuit &c, int ctrl, int tgt)
+{
+    c.tdg(ctrl);
+    c.cnot(ctrl, tgt);
+    c.t(tgt);
+    c.cnot(ctrl, tgt);
+    c.tdg(tgt);
+}
+
+/** SWAP as its 3-CNOT program-level expansion. */
+void
+swap3(Circuit &c, int a, int b)
+{
+    c.cnot(a, b);
+    c.cnot(b, a);
+    c.cnot(a, b);
+}
+
+} // namespace
+
+Benchmark
+makeBernsteinVazirani(int n_qubits)
+{
+    if (n_qubits < 2)
+        QC_FATAL("Bernstein-Vazirani needs at least 2 qubits");
+    const int ancilla = n_qubits - 1;
+    const int n_data = n_qubits - 1;
+    const int ones = std::min(3, n_data);
+
+    std::vector<bool> hidden(n_data, false);
+    for (int i = n_data - ones; i < n_data; ++i)
+        hidden[i] = true;
+
+    Circuit c("BV" + std::to_string(n_qubits), n_qubits);
+    c.x(ancilla);
+    c.h(ancilla);
+    for (int i = 0; i < n_data; ++i) {
+        if (!hidden[i])
+            continue;
+        c.h(i);
+        c.cnot(i, ancilla);
+        c.h(i);
+    }
+    std::string expected(static_cast<size_t>(n_qubits), '0');
+    for (int i = 0; i < n_data; ++i) {
+        c.measure(i, i);
+        if (hidden[i])
+            expected[i] = '1';
+    }
+    return {c.name(), c, expected};
+}
+
+Benchmark
+makeHiddenShift(int n_qubits)
+{
+    if (n_qubits < 2 || n_qubits % 2 != 0)
+        QC_FATAL("Hidden Shift needs an even qubit count >= 2");
+
+    // Shift: one bit per pair (the even-indexed qubit).
+    std::vector<bool> shift(n_qubits, false);
+    for (int i = 0; i < n_qubits; i += 2)
+        shift[i] = true;
+
+    Circuit c("HS" + std::to_string(n_qubits), n_qubits);
+    for (int i = 0; i < n_qubits; ++i)
+        c.h(i);
+    // Oracle of the shifted bent function f(x + s).
+    for (int i = 0; i < n_qubits; ++i)
+        if (shift[i])
+            c.x(i);
+    for (int i = 0; i < n_qubits; i += 2)
+        c.cz(i, i + 1);
+    for (int i = 0; i < n_qubits; ++i)
+        if (shift[i])
+            c.x(i);
+    for (int i = 0; i < n_qubits; ++i)
+        c.h(i);
+    // Oracle of the dual function (f is self-dual for AND pairs).
+    for (int i = 0; i < n_qubits; i += 2)
+        c.cz(i, i + 1);
+    for (int i = 0; i < n_qubits; ++i)
+        c.h(i);
+
+    std::string expected(static_cast<size_t>(n_qubits), '0');
+    for (int i = 0; i < n_qubits; ++i) {
+        c.measure(i, i);
+        if (shift[i])
+            expected[i] = '1';
+    }
+    return {c.name(), c, expected};
+}
+
+Benchmark
+makeToffoli()
+{
+    Circuit c("Toffoli", 3);
+    c.x(0);
+    c.x(1);
+    c.toffoli(0, 1, 2);
+    for (int i = 0; i < 3; ++i)
+        c.measure(i, i);
+    return {c.name(), c, "111"};
+}
+
+Benchmark
+makeFredkin()
+{
+    Circuit c("Fredkin", 3);
+    c.x(0);
+    c.x(1);
+    // Fredkin(c, a, b) = CNOT(b, a); Toffoli(c, a, b); CNOT(b, a).
+    c.cnot(2, 1);
+    c.toffoli(0, 1, 2);
+    c.cnot(2, 1);
+    for (int i = 0; i < 3; ++i)
+        c.measure(i, i);
+    // control 1 swaps (1, 0) on qubits 1, 2 -> |1 0 1>.
+    return {c.name(), c, "101"};
+}
+
+Benchmark
+makeOr()
+{
+    Circuit c("Or", 3);
+    // Input a=1, b=0.
+    c.x(0);
+    // OR(a, b) = NOT(AND(NOT a, NOT b)).
+    c.x(0);
+    c.x(1);
+    c.toffoli(0, 1, 2);
+    c.x(2);
+    for (int i = 0; i < 3; ++i)
+        c.measure(i, i);
+    // Qubits 0, 1 end inverted: 0, 1; output OR = 1.
+    return {c.name(), c, "011"};
+}
+
+Benchmark
+makePeres()
+{
+    Circuit c("Peres", 3);
+    c.x(0);
+    c.x(1);
+    // Peres(a, b, t) = Toffoli(a, b, t); CNOT(a, b). The appended
+    // CNOT cancels the Toffoli decomposition's final CNOT(a, b),
+    // leaving 5 CNOTs (Table 2).
+    c.h(2);
+    c.cnot(1, 2);
+    c.tdg(2);
+    c.cnot(0, 2);
+    c.t(2);
+    c.cnot(1, 2);
+    c.tdg(2);
+    c.cnot(0, 2);
+    c.t(1);
+    c.t(2);
+    c.h(2);
+    c.cnot(0, 1);
+    c.t(0);
+    c.tdg(1);
+    for (int i = 0; i < 3; ++i)
+        c.measure(i, i);
+    // a=1, b=1, t=0 -> a=1, b=a^b=0, t=t^ab=1.
+    return {c.name(), c, "101"};
+}
+
+Benchmark
+makeAdder()
+{
+    // q0 = cin, q1 = a, q2 = b, q3 = carry-out ancilla. Interaction
+    // graph is the star {(q1,q2), (q2,q3), (q0,q2)}: grid-embeddable
+    // without SWAPs.
+    Circuit c("Adder", 4);
+    // Inputs cin=1, a=1, b=0.
+    c.x(0);
+    c.x(1);
+    // cout ^= a AND b.
+    lnnToffoli(c, 1, 2, 3);
+    // b = a XOR b.
+    c.cnot(1, 2);
+    // cout ^= cin AND (a XOR b)  -> cout = MAJ(a, b, cin).
+    lnnToffoli(c, 0, 2, 3);
+    // b = cin XOR a XOR b = sum.
+    c.cnot(0, 2);
+    for (int i = 0; i < 4; ++i)
+        c.measure(i, i);
+    // cin=1, a=1, b=0: sum = 0, cout = 1 -> "1101"? q0=1, q1=1,
+    // q2=sum=0, q3=cout=1.
+    return {c.name(), c, "1101"};
+}
+
+Benchmark
+makeQft()
+{
+    // Prepare QFT|01> as a product state (q0 = |->, q1 = |+> after
+    // the reversal convention), then run the inverse QFT including
+    // its 3-CNOT reversal SWAP: 13 gates, 5 CNOTs (Table 2).
+    Circuit c("QFT", 2);
+    c.x(1);
+    c.h(1);
+    c.h(0);
+    swap3(c, 0, 1);
+    c.h(1);
+    cphaseDag(c, 1, 0);
+    c.h(0);
+    c.measure(0, 0);
+    c.measure(1, 1);
+    return {c.name(), c, "10"};
+}
+
+Benchmark
+makeRippleCarryAdder(int bits, unsigned a_val, unsigned b_val)
+{
+    if (bits < 1 || bits > 20)
+        QC_FATAL("ripple-carry adder supports 1..20 bits, got ", bits);
+    if (a_val >= (1u << bits) || b_val >= (1u << bits))
+        QC_FATAL("addend does not fit in ", bits, " bits");
+
+    // Register layout: a[i] = qubit i, b[i] = bits + i,
+    // carry c[i] = 2*bits + i for i in [0, bits].
+    const int n = 3 * bits + 1;
+    auto qa = [&](int i) { return i; };
+    auto qb = [&](int i) { return bits + i; };
+    auto qc_ = [&](int i) { return 2 * bits + i; };
+
+    Circuit c("RCAdder" + std::to_string(bits), n);
+    for (int i = 0; i < bits; ++i) {
+        if (a_val & (1u << i))
+            c.x(qa(i));
+        if (b_val & (1u << i))
+            c.x(qb(i));
+    }
+    for (int i = 0; i < bits; ++i) {
+        // c[i+1] ^= a[i] AND b[i]
+        lnnToffoli(c, qa(i), qb(i), qc_(i + 1));
+        // b[i] ^= a[i]
+        c.cnot(qa(i), qb(i));
+        // c[i+1] ^= c[i] AND (a[i] xor b[i])
+        lnnToffoli(c, qc_(i), qb(i), qc_(i + 1));
+        // b[i] ^= c[i]  ->  b[i] = sum bit i
+        c.cnot(qc_(i), qb(i));
+    }
+
+    // Classical reference model for the expected outcome.
+    std::string expected(static_cast<size_t>(n), '0');
+    unsigned sum = a_val + b_val;
+    std::vector<int> carry(bits + 1, 0);
+    for (int i = 0; i < bits; ++i) {
+        int ai = (a_val >> i) & 1;
+        int bi = (b_val >> i) & 1;
+        carry[i + 1] = (ai + bi + carry[i]) >> 1;
+    }
+    for (int i = 0; i < bits; ++i) {
+        c.measure(qa(i), qa(i));
+        if ((a_val >> i) & 1)
+            expected[qa(i)] = '1';
+        c.measure(qb(i), qb(i));
+        if ((sum >> i) & 1)
+            expected[qb(i)] = '1';
+    }
+    for (int i = 0; i <= bits; ++i) {
+        c.measure(qc_(i), qc_(i));
+        if (carry[i])
+            expected[qc_(i)] = '1';
+    }
+    return {c.name(), c, expected};
+}
+
+std::vector<Benchmark>
+paperBenchmarks()
+{
+    return {
+        makeBernsteinVazirani(4),
+        makeBernsteinVazirani(6),
+        makeBernsteinVazirani(8),
+        makeHiddenShift(2),
+        makeHiddenShift(4),
+        makeHiddenShift(6),
+        makeToffoli(),
+        makeFredkin(),
+        makeOr(),
+        makePeres(),
+        makeQft(),
+        makeAdder(),
+    };
+}
+
+Benchmark
+benchmarkByName(const std::string &name)
+{
+    for (auto &b : paperBenchmarks())
+        if (b.name == name)
+            return b;
+    QC_FATAL("unknown benchmark '", name, "'");
+}
+
+} // namespace qc

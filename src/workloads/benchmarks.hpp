@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The paper's 12 evaluation benchmarks (Table 2): Bernstein-Vazirani
+ * (4/6/8 qubits), Hidden Shift (2/4/6), the Toffoli / Fredkin / Or /
+ * Peres reversible kernels, a one-bit full adder, and a 2-qubit QFT
+ * kernel. Every benchmark has a deterministic correct answer so the
+ * Monte-Carlo success rate is well-defined (Sec. 6 "Metrics").
+ */
+
+#ifndef QC_WORKLOADS_BENCHMARKS_HPP
+#define QC_WORKLOADS_BENCHMARKS_HPP
+
+#include <string>
+#include <vector>
+
+#include "ir/circuit.hpp"
+
+namespace qc {
+
+/** A benchmark: its circuit and the correct classical outcome. */
+struct Benchmark
+{
+    std::string name;
+    Circuit circuit;
+    std::string expected; ///< classical-bit string (cbit 0 first)
+};
+
+/**
+ * Bernstein-Vazirani on n qubits (n-1 data + 1 ancilla). The hidden
+ * string has ones on the min(3, n-1) data qubits nearest the ancilla,
+ * matching the paper's 3-CNOT instances for BV4/6/8.
+ */
+Benchmark makeBernsteinVazirani(int n_qubits);
+
+/**
+ * Hidden Shift for the bent function f(x) = AND of qubit pairs
+ * (Childs & van Dam), n even. The shift has one bit set per pair;
+ * the algorithm returns the shift deterministically.
+ */
+Benchmark makeHiddenShift(int n_qubits);
+
+/** Toffoli kernel on input |110>: expected output 111. */
+Benchmark makeToffoli();
+
+/** Fredkin (controlled-SWAP) on input |110>: expected output 101. */
+Benchmark makeFredkin();
+
+/** OR kernel (a=1, b=0): NOT-AND-NOT construction, output 011. */
+Benchmark makeOr();
+
+/** Peres gate (Toffoli followed by CNOT) on |110>: output 101. */
+Benchmark makePeres();
+
+/**
+ * One-bit full adder (cin=1, a=1, b=0): computes sum and carry with
+ * linear-nearest-neighbor Toffolis so its interaction graph is a star
+ * that embeds in the grid without SWAPs (the paper groups Adder with
+ * the zero-movement benchmarks).
+ */
+Benchmark makeAdder();
+
+/**
+ * 2-qubit QFT kernel: prepares the Fourier state of |01> with
+ * single-qubit gates and applies the inverse QFT (including the
+ * 3-CNOT qubit reversal SWAP), returning 01 deterministically —
+ * 13 gates and 5 CNOTs as in Table 2.
+ */
+Benchmark makeQft();
+
+/**
+ * n-bit ripple-carry adder computing a + b (extension beyond the
+ * paper's one-bit Adder): VBE-style carry chain built from
+ * linear-nearest-neighbor Toffolis, so the interaction graph is a
+ * chain of degree-<=3 stars that embeds in grid machines. Uses
+ * 3*bits + 1 qubits (a, b, carries); the sum appears on the b
+ * register and the final carry on the last qubit. Deterministic, so
+ * it doubles as a large-circuit routing stress test.
+ *
+ * @param bits  operand width (>= 1)
+ * @param a_val first addend, < 2^bits
+ * @param b_val second addend, < 2^bits
+ */
+Benchmark makeRippleCarryAdder(int bits, unsigned a_val,
+                               unsigned b_val);
+
+/** All 12 benchmarks in the paper's Figure 5 order. */
+std::vector<Benchmark> paperBenchmarks();
+
+/** Look up one benchmark by its Table 2 name (e.g. "BV4", "HS6"). */
+Benchmark benchmarkByName(const std::string &name);
+
+} // namespace qc
+
+#endif // QC_WORKLOADS_BENCHMARKS_HPP

@@ -1,0 +1,48 @@
+#include "random_circuits.hpp"
+
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+
+namespace qc {
+
+Circuit
+makeRandomCircuit(const RandomCircuitSpec &spec)
+{
+    if (spec.numQubits < 2)
+        QC_FATAL("random circuits need at least 2 qubits");
+    if (spec.numGates < 1)
+        QC_FATAL("random circuits need at least 1 gate");
+
+    Rng rng(spec.seed, "random-circuit");
+    Circuit c("rand_q" + std::to_string(spec.numQubits) + "_g" +
+                  std::to_string(spec.numGates),
+              spec.numQubits);
+
+    static const Op kOneQubit[6] = {Op::H, Op::X, Op::Y,
+                                    Op::Z, Op::S, Op::T};
+
+    for (int i = 0; i < spec.numGates; ++i) {
+        // Ensure every qubit is touched at least once.
+        int forced = i < spec.numQubits ? i : -1;
+        bool cnot = rng.uniformInt(0, 6) == 6; // 1-in-7 like the set
+        if (cnot) {
+            int a = forced >= 0 ? forced
+                                : rng.uniformInt(0, spec.numQubits - 1);
+            int b = rng.uniformInt(0, spec.numQubits - 2);
+            if (b >= a)
+                ++b;
+            c.cnot(a, b);
+        } else {
+            int q = forced >= 0 ? forced
+                                : rng.uniformInt(0, spec.numQubits - 1);
+            c.add({kOneQubit[rng.uniformInt(0, 5)], q, kInvalidQubit,
+                   -1});
+        }
+    }
+    if (spec.measureAll)
+        for (int q = 0; q < spec.numQubits; ++q)
+            c.measure(q, q);
+    return c;
+}
+
+} // namespace qc

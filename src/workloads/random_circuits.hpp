@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Synthetic random-program generator for the scalability study
+ * (paper Sec. 6: 4-128 qubits, 128-2048 gates, gates sampled
+ * uniformly from the universal set {H, X, Y, Z, S, T, CNOT}).
+ */
+
+#ifndef QC_WORKLOADS_RANDOM_CIRCUITS_HPP
+#define QC_WORKLOADS_RANDOM_CIRCUITS_HPP
+
+#include <cstdint>
+
+#include "ir/circuit.hpp"
+
+namespace qc {
+
+/** Generation parameters. */
+struct RandomCircuitSpec
+{
+    int numQubits = 4;
+    int numGates = 128;     ///< unitary gate count (measures excluded)
+    std::uint64_t seed = 0;
+    bool measureAll = true; ///< append a measurement on every qubit
+};
+
+/**
+ * Deterministically generate a random circuit for a spec. Every qubit
+ * is guaranteed to appear in at least one gate (qubit i seeds gate i
+ * for the first numQubits gates when numGates allows), matching the
+ * paper's fully-used synthetic programs.
+ */
+Circuit makeRandomCircuit(const RandomCircuitSpec &spec);
+
+} // namespace qc
+
+#endif // QC_WORKLOADS_RANDOM_CIRCUITS_HPP

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Calibration model tests: determinism, value ranges, the published
+ * statistics the synthetic generator must match, and validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/calibration_model.hpp"
+#include "support/logging.hpp"
+#include "support/stats.hpp"
+
+namespace qc {
+namespace {
+
+class CalibrationModelTest : public ::testing::Test
+{
+  protected:
+    GridTopology topo_ = GridTopology::ibmq16();
+    CalibrationModel model_{topo_, 20190131};
+};
+
+TEST_F(CalibrationModelTest, SameDayIsIdentical)
+{
+    Calibration a = model_.forDay(5);
+    Calibration b = model_.forDay(5);
+    EXPECT_EQ(a.t2Us, b.t2Us);
+    EXPECT_EQ(a.cnotError, b.cnotError);
+    EXPECT_EQ(a.readoutError, b.readoutError);
+    EXPECT_EQ(a.cnotDuration, b.cnotDuration);
+    EXPECT_DOUBLE_EQ(a.oneQubitError, b.oneQubitError);
+}
+
+TEST_F(CalibrationModelTest, DaysDiffer)
+{
+    Calibration a = model_.forDay(0);
+    Calibration b = model_.forDay(1);
+    EXPECT_NE(a.t2Us, b.t2Us);
+    EXPECT_NE(a.cnotError, b.cnotError);
+}
+
+TEST_F(CalibrationModelTest, DurationsAreStaticAcrossDays)
+{
+    // CNOT durations are lithographic, not drifting (paper: durations
+    // vary across qubits, up to 1.8x; coherence/error vary daily).
+    EXPECT_EQ(model_.forDay(0).cnotDuration,
+              model_.forDay(9).cnotDuration);
+}
+
+TEST_F(CalibrationModelTest, ValuesWithinClamps)
+{
+    const auto &p = model_.params();
+    for (int day = 0; day < 20; ++day) {
+        Calibration cal = model_.forDay(day);
+        for (double t2 : cal.t2Us) {
+            EXPECT_GE(t2, p.t2MinUs);
+            EXPECT_LE(t2, p.t2MaxUs);
+        }
+        for (double e : cal.cnotError) {
+            EXPECT_GE(e, p.cnotErrMin);
+            EXPECT_LE(e, p.cnotErrMax);
+        }
+        for (double e : cal.readoutError) {
+            EXPECT_GE(e, p.readoutErrMin);
+            EXPECT_LE(e, p.readoutErrMax);
+        }
+        for (size_t i = 0; i < cal.t1Us.size(); ++i)
+            EXPECT_GE(2.0 * cal.t1Us[i], cal.t2Us[i]); // T2 <= 2*T1
+    }
+}
+
+TEST_F(CalibrationModelTest, MatchesPaperStatistics)
+{
+    // Pool 30 days of data and compare against the paper's Sec. 2
+    // numbers: T2 ~= 70us mean; CNOT error ~= 0.04; readout ~= 0.07;
+    // single-qubit ~= 0.002; duration spread <= 1.8x.
+    std::vector<double> t2, cx, ro, oneq;
+    std::vector<double> dur;
+    for (int day = 0; day < 30; ++day) {
+        Calibration cal = model_.forDay(day);
+        t2.insert(t2.end(), cal.t2Us.begin(), cal.t2Us.end());
+        cx.insert(cx.end(), cal.cnotError.begin(), cal.cnotError.end());
+        ro.insert(ro.end(), cal.readoutError.begin(),
+                  cal.readoutError.end());
+        oneq.push_back(cal.oneQubitError);
+        for (Timeslot d : cal.cnotDuration)
+            dur.push_back(static_cast<double>(d));
+    }
+    EXPECT_NEAR(mean(t2), 70.0, 20.0);
+    EXPECT_NEAR(mean(cx), 0.04, 0.02);
+    EXPECT_NEAR(mean(ro), 0.07, 0.03);
+    EXPECT_NEAR(mean(oneq), 0.002, 0.0015);
+    // Large spatio-temporal spreads (paper: up to 9.2x for T2, 9x for
+    // CNOT error, 5.9x for readout).
+    EXPECT_GE(spreadRatio(t2), 3.0);
+    EXPECT_GE(spreadRatio(cx), 3.0);
+    EXPECT_GE(spreadRatio(ro), 3.0);
+    EXPECT_LE(spreadRatio(dur), 1.9);
+    EXPECT_GE(spreadRatio(dur), 1.2);
+}
+
+TEST_F(CalibrationModelTest, CoherenceSlotsConversion)
+{
+    Calibration cal = model_.forDay(0);
+    for (int h = 0; h < topo_.numQubits(); ++h) {
+        // 1 us = 12.5 slots of 80 ns.
+        Timeslot expect = static_cast<Timeslot>(cal.t2Us[h] * 12.5);
+        EXPECT_NEAR(static_cast<double>(cal.coherenceSlots(h)),
+                    static_cast<double>(expect), 1.0);
+        // Paper Sec. 7.2: the worst qubit exceeds 300 slots.
+        EXPECT_GT(cal.coherenceSlots(h), 150);
+    }
+}
+
+TEST_F(CalibrationModelTest, RejectsNegativeDay)
+{
+    EXPECT_THROW(model_.forDay(-1), FatalError);
+}
+
+TEST(Calibration, ValidationCatchesBadData)
+{
+    GridTopology topo(2, 2);
+    CalibrationModel model(topo, 1);
+    Calibration cal = model.forDay(0);
+    cal.validate(topo); // sane
+
+    Calibration bad = cal;
+    bad.t2Us.pop_back();
+    EXPECT_THROW(bad.validate(topo), FatalError);
+
+    bad = cal;
+    bad.readoutError[0] = 1.5;
+    EXPECT_THROW(bad.validate(topo), FatalError);
+
+    bad = cal;
+    bad.cnotError[0] = -0.1;
+    EXPECT_THROW(bad.validate(topo), FatalError);
+
+    bad = cal;
+    bad.cnotDuration[0] = 0;
+    EXPECT_THROW(bad.validate(topo), FatalError);
+
+    bad = cal;
+    bad.t1Us[0] = 0.0;
+    EXPECT_THROW(bad.validate(topo), FatalError);
+}
+
+TEST(Calibration, ReliabilityAccessors)
+{
+    GridTopology topo(2, 2);
+    CalibrationModel model(topo, 2);
+    Calibration cal = model.forDay(0);
+    for (EdgeId e = 0; e < topo.numEdges(); ++e)
+        EXPECT_DOUBLE_EQ(cal.cnotReliability(e), 1.0 - cal.cnotError[e]);
+    for (int h = 0; h < topo.numQubits(); ++h)
+        EXPECT_DOUBLE_EQ(cal.readoutReliability(h),
+                         1.0 - cal.readoutError[h]);
+}
+
+TEST(CalibrationModel, SeedsProduceDifferentMachines)
+{
+    GridTopology topo = GridTopology::ibmq16();
+    CalibrationModel a(topo, 1), b(topo, 2);
+    EXPECT_NE(a.forDay(0).cnotError, b.forDay(0).cnotError);
+}
+
+} // namespace
+} // namespace qc

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Calibration serialization tests: round trips, partial files,
+ * malformed input and topology mismatches.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/calibration_io.hpp"
+#include "machine/calibration_model.hpp"
+#include "support/logging.hpp"
+
+namespace qc {
+namespace {
+
+class CalibrationIo : public ::testing::Test
+{
+  protected:
+    GridTopology topo_ = GridTopology::ibmq16();
+    CalibrationModel model_{topo_, 321};
+};
+
+TEST_F(CalibrationIo, RoundTripIsExact)
+{
+    Calibration cal = model_.forDay(4);
+    Calibration back = loadCalibration(saveCalibration(cal, topo_),
+                                       topo_);
+    EXPECT_EQ(back.day, cal.day);
+    EXPECT_EQ(back.t1Us, cal.t1Us);
+    EXPECT_EQ(back.t2Us, cal.t2Us);
+    EXPECT_EQ(back.readoutError, cal.readoutError);
+    EXPECT_EQ(back.cnotError, cal.cnotError);
+    EXPECT_EQ(back.cnotDuration, cal.cnotDuration);
+    EXPECT_DOUBLE_EQ(back.oneQubitError, cal.oneQubitError);
+    EXPECT_EQ(back.oneQubitDuration, cal.oneQubitDuration);
+    EXPECT_EQ(back.readoutDuration, cal.readoutDuration);
+}
+
+TEST_F(CalibrationIo, RoundTripOnOtherGrids)
+{
+    GridTopology small(3, 3);
+    CalibrationModel model(small, 9);
+    Calibration cal = model.forDay(0);
+    Calibration back = loadCalibration(saveCalibration(cal, small),
+                                       small);
+    EXPECT_EQ(back.cnotError, cal.cnotError);
+}
+
+TEST_F(CalibrationIo, CommentsAndOrderInsensitive)
+{
+    Calibration cal = model_.forDay(0);
+    std::string text = saveCalibration(cal, topo_);
+    // Prepend comments; the format has no order requirements beyond
+    // the directives themselves.
+    std::string shuffled = "# a comment\n" + text + "# trailing\n";
+    Calibration back = loadCalibration(shuffled, topo_);
+    EXPECT_EQ(back.readoutError, cal.readoutError);
+}
+
+TEST_F(CalibrationIo, MissingHeaderRejected)
+{
+    Calibration cal = model_.forDay(0);
+    std::string text = saveCalibration(cal, topo_);
+    std::string no_header = text.substr(text.find("day "));
+    EXPECT_THROW(loadCalibration(no_header, topo_), FatalError);
+}
+
+TEST_F(CalibrationIo, GridMismatchRejected)
+{
+    Calibration cal = model_.forDay(0);
+    std::string text = saveCalibration(cal, topo_);
+    GridTopology other(4, 4);
+    EXPECT_THROW(loadCalibration(text, other), FatalError);
+}
+
+TEST_F(CalibrationIo, MissingQubitRejected)
+{
+    Calibration cal = model_.forDay(0);
+    std::string text = saveCalibration(cal, topo_);
+    auto pos = text.find("qubit 7");
+    auto end = text.find('\n', pos);
+    text.erase(pos, end - pos + 1);
+    EXPECT_THROW(loadCalibration(text, topo_), FatalError);
+}
+
+TEST_F(CalibrationIo, DuplicateEdgeRejected)
+{
+    Calibration cal = model_.forDay(0);
+    std::string text = saveCalibration(cal, topo_);
+    text += "edge 0 1 error 0.02 duration 9\n";
+    EXPECT_THROW(loadCalibration(text, topo_), FatalError);
+}
+
+TEST_F(CalibrationIo, MalformedLinesRejected)
+{
+    Calibration cal = model_.forDay(0);
+    std::string good = saveCalibration(cal, topo_);
+    EXPECT_THROW(loadCalibration(good + "bogus 1 2\n", topo_),
+                 FatalError);
+    EXPECT_THROW(loadCalibration(good + "qubit x t1 1 t2 1 readout 0\n",
+                                 topo_),
+                 FatalError);
+    EXPECT_THROW(loadCalibration(good + "edge 0 15 error 0.1 "
+                                        "duration 9\n",
+                                 topo_),
+                 FatalError); // not a coupling edge
+}
+
+TEST_F(CalibrationIo, OutOfRangeValuesRejectedByValidation)
+{
+    Calibration cal = model_.forDay(0);
+    std::string text = saveCalibration(cal, topo_);
+    // Corrupt one readout error beyond [0, 1).
+    auto pos = text.find("readout ");
+    text.replace(pos + 8, text.find('\n', pos) - pos - 8, "1.7");
+    EXPECT_THROW(loadCalibration(text, topo_), FatalError);
+}
+
+} // namespace
+} // namespace qc

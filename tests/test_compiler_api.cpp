@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Public-facade tests: NoiseAdaptiveCompiler construction, every
+ * MapperKind, OpenQASM emission, and name parsing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/qasm.hpp"
+#include "test_util.hpp"
+
+namespace qc {
+namespace {
+
+using test::env;
+using test::kSeed;
+
+TEST(MapperKind, NamesRoundTrip)
+{
+    for (MapperKind k :
+         {MapperKind::Qiskit, MapperKind::TSmt, MapperKind::TSmtStar,
+          MapperKind::RSmtStar, MapperKind::GreedyV,
+          MapperKind::GreedyE}) {
+        EXPECT_EQ(mapperKindFromName(mapperKindName(k)), k);
+    }
+    EXPECT_THROW(mapperKindFromName("SABRE"), FatalError);
+}
+
+class AllMapperKinds : public ::testing::TestWithParam<MapperKind>
+{
+};
+
+TEST_P(AllMapperKinds, CompilesBv4)
+{
+    CompilerOptions opts;
+    opts.mapper = GetParam();
+    opts.smtTimeoutMs = 30'000;
+    NoiseAdaptiveCompiler compiler(
+        GridTopology::ibmq16(),
+        env().calibrationModel().forDay(0), opts);
+
+    Benchmark b = benchmarkByName("BV4");
+    CompiledProgram cp = compiler.compile(b.circuit);
+    EXPECT_EQ(cp.mapperName.substr(0, 3),
+              std::string(mapperKindName(GetParam())).substr(0, 3));
+    validateLayout(cp.layout, b.circuit.numQubits(),
+                   compiler.machine().numQubits());
+    EXPECT_GT(cp.duration, 0);
+    EXPECT_GT(cp.predictedSuccess, 0.0);
+}
+
+TEST_P(AllMapperKinds, QasmOutputIsExecutableAndCorrect)
+{
+    CompilerOptions opts;
+    opts.mapper = GetParam();
+    opts.smtTimeoutMs = 30'000;
+    NoiseAdaptiveCompiler compiler(
+        GridTopology::ibmq16(),
+        env().calibrationModel().forDay(0), opts);
+
+    Benchmark b = benchmarkByName("Toffoli");
+    std::string qasm = compiler.compileToQasm(b.circuit);
+    EXPECT_NE(qasm.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_EQ(qasm.find("swap"), std::string::npos)
+        << "only hardware-native ops may be emitted";
+
+    // The emitted hardware program still computes the right answer.
+    Circuit parsed = parseQasm(qasm, "compiled");
+    EXPECT_EQ(parsed.numQubits(), 16);
+    EXPECT_EQ(idealOutcome(parsed), b.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, AllMapperKinds,
+    ::testing::Values(MapperKind::Qiskit, MapperKind::TSmt,
+                      MapperKind::TSmtStar, MapperKind::RSmtStar,
+                      MapperKind::GreedyV, MapperKind::GreedyE),
+    [](const ::testing::TestParamInfo<MapperKind> &info) {
+        std::string n = mapperKindName(info.param);
+        for (char &c : n)
+            if (c == '-' || c == '*')
+                c = '_';
+        return n;
+    });
+
+TEST(NoiseAdaptiveCompiler, RejectsOversizedProgram)
+{
+    CompilerOptions opts;
+    opts.mapper = MapperKind::GreedyE;
+    GridTopology small(2, 2);
+    CalibrationModel model(small, kSeed);
+    NoiseAdaptiveCompiler compiler(small, model.forDay(0), opts);
+    Benchmark b = benchmarkByName("BV6");
+    EXPECT_THROW(compiler.compile(b.circuit), FatalError);
+}
+
+TEST(NoiseAdaptiveCompiler, WorksOnCustomTopology)
+{
+    CompilerOptions opts;
+    opts.mapper = MapperKind::GreedyE;
+    GridTopology topo(4, 4);
+    CalibrationModel model(topo, kSeed);
+    NoiseAdaptiveCompiler compiler(topo, model.forDay(3), opts);
+    Benchmark b = benchmarkByName("Adder");
+    CompiledProgram cp = compiler.compile(b.circuit);
+    validateLayout(cp.layout, 4, 16);
+}
+
+TEST(ExperimentEnv, MachineForDayIsDeterministic)
+{
+    ExperimentEnv env(kSeed);
+    Machine a = env.machineForDay(2);
+    Machine b = env.machineForDay(2);
+    EXPECT_EQ(a.cal().cnotError, b.cal().cnotError);
+    EXPECT_EQ(a.cal().t2Us, b.cal().t2Us);
+}
+
+TEST(RunMeasured, ProducesConsistentRecord)
+{
+    ExperimentEnv env(kSeed);
+    Machine m = env.machineForDay(0);
+    CompilerOptions opts;
+    opts.mapper = MapperKind::GreedyE;
+    Benchmark b = benchmarkByName("HS4");
+    MeasuredRun run = runMeasured(m, b, opts, 256, 5);
+    EXPECT_EQ(run.benchmark, "HS4");
+    EXPECT_EQ(run.mapper, "GreedyE*");
+    EXPECT_EQ(run.execution.trials, 256);
+    EXPECT_GE(run.execution.successRate, 0.0);
+    EXPECT_LE(run.execution.successRate, 1.0);
+}
+
+} // namespace
+} // namespace qc

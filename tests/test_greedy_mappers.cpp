@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Greedy heuristic tests (GreedyV*, GreedyE*): valid deterministic
+ * layouts across all benchmarks, placement-policy behaviors, and the
+ * shared attach helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ir/program_graph.hpp"
+#include "mappers/greedy_mapper.hpp"
+#include "test_util.hpp"
+
+namespace qc {
+namespace {
+
+using test::day0;
+using test::expectScheduleWellFormed;
+
+class GreedyAllBenchmarks : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(GreedyAllBenchmarks, BothHeuristicsProduceValidSchedules)
+{
+    Machine m = day0();
+    Benchmark b = benchmarkByName(GetParam());
+
+    GreedyVMapper gv(m);
+    GreedyEMapper ge(m);
+    for (Mapper *mapper : {static_cast<Mapper *>(&gv),
+                           static_cast<Mapper *>(&ge)}) {
+        CompiledProgram cp = mapper->compile(b.circuit);
+        validateLayout(cp.layout, b.circuit.numQubits(), m.numQubits());
+        expectScheduleWellFormed(m, cp.schedule);
+        EXPECT_GT(cp.predictedSuccess, 0.0);
+        EXPECT_LE(cp.predictedSuccess, 1.0);
+        EXPECT_EQ(cp.duration, cp.schedule.makespan);
+    }
+}
+
+TEST_P(GreedyAllBenchmarks, Deterministic)
+{
+    Machine m = day0();
+    Benchmark b = benchmarkByName(GetParam());
+    GreedyEMapper mapper(m);
+    CompiledProgram a = mapper.compile(b.circuit);
+    CompiledProgram c = mapper.compile(b.circuit);
+    EXPECT_EQ(a.layout, c.layout);
+    EXPECT_EQ(a.duration, c.duration);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, GreedyAllBenchmarks,
+    ::testing::Values("BV4", "BV6", "BV8", "HS2", "HS4", "HS6", "Toffoli",
+                      "Fredkin", "Or", "Peres", "QFT", "Adder"));
+
+TEST(GreedyE, HeaviestEdgeLandsOnAdjacentPair)
+{
+    Machine m = day0();
+    Benchmark b = benchmarkByName("HS2"); // single weight-2 edge
+    GreedyEMapper mapper(m);
+    CompiledProgram cp = mapper.compile(b.circuit);
+    EXPECT_TRUE(m.topo().adjacent(cp.layout[0], cp.layout[1]));
+    EXPECT_EQ(cp.swapCount, 0);
+}
+
+TEST(GreedyE, PicksAReliableEdgeForTheSeed)
+{
+    // The seed edge maximizes cnot_rel * ro_rel * ro_rel over free
+    // hardware edges; it must beat the machine-wide median edge.
+    Machine m = day0();
+    Benchmark b = benchmarkByName("HS2");
+    GreedyEMapper mapper(m);
+    CompiledProgram cp = mapper.compile(b.circuit);
+    EdgeId chosen = m.topo().edgeBetween(cp.layout[0], cp.layout[1]);
+    ASSERT_NE(chosen, kInvalidEdge);
+
+    double chosen_score =
+        std::log(m.cal().cnotReliability(chosen)) +
+        std::log(m.cal().readoutReliability(cp.layout[0])) +
+        std::log(m.cal().readoutReliability(cp.layout[1]));
+    for (const auto &e : m.topo().edges()) {
+        EdgeId id = m.topo().edgeBetween(e.a, e.b);
+        double score = std::log(m.cal().cnotReliability(id)) +
+                       std::log(m.cal().readoutReliability(e.a)) +
+                       std::log(m.cal().readoutReliability(e.b));
+        EXPECT_GE(chosen_score + 1e-12, score);
+    }
+}
+
+TEST(GreedyV, SeedsOnMaxDegreeLocation)
+{
+    Machine m = day0();
+    Benchmark b = benchmarkByName("BV4");
+    GreedyVMapper mapper(m);
+    CompiledProgram cp = mapper.compile(b.circuit);
+    // The heaviest program qubit is the ancilla (qubit 3); it must sit
+    // on an interior (degree-3) hardware qubit.
+    EXPECT_EQ(m.topo().neighbors(cp.layout[3]).size(), 3u);
+}
+
+TEST(GreedyMappers, HandleIsolatedQubits)
+{
+    Machine m = day0();
+    Circuit c("iso", 4);
+    c.cnot(0, 1);
+    c.h(2);
+    c.h(3);
+    for (int q = 0; q < 4; ++q)
+        c.measure(q, q);
+    GreedyVMapper gv(m);
+    GreedyEMapper ge(m);
+    validateLayout(gv.compile(c).layout, 4, m.numQubits());
+    validateLayout(ge.compile(c).layout, 4, m.numQubits());
+}
+
+TEST(GreedyMappers, HandleDisconnectedComponents)
+{
+    Machine m = day0();
+    Circuit c("two-comp", 6);
+    c.cnot(0, 1);
+    c.cnot(0, 1);
+    c.cnot(2, 3);
+    c.cnot(4, 5);
+    for (int q = 0; q < 6; ++q)
+        c.measure(q, q);
+    GreedyEMapper ge(m);
+    CompiledProgram cp = ge.compile(c);
+    validateLayout(cp.layout, 6, m.numQubits());
+    expectScheduleWellFormed(m, cp.schedule);
+}
+
+TEST(GreedyMappers, RejectOversizedPrograms)
+{
+    GridTopology topo(2, 2);
+    CalibrationModel model(topo, 5);
+    Machine m(topo, model.forDay(0));
+    Benchmark b = benchmarkByName("BV6");
+    GreedyVMapper gv(m);
+    GreedyEMapper ge(m);
+    EXPECT_THROW(gv.compile(b.circuit), FatalError);
+    EXPECT_THROW(ge.compile(b.circuit), FatalError);
+}
+
+TEST(BestAttachedLocation, MinimizesWeightedPathCost)
+{
+    Machine m = day0();
+    std::vector<bool> used(m.numQubits(), false);
+    HwQubit anchor = m.topo().qubitAt(0, 3);
+    used[anchor] = true;
+    HwQubit got = bestAttachedLocation(m, {{anchor, 1}}, used);
+    ASSERT_NE(got, kInvalidQubit);
+    double got_cost = m.mostReliablePathCost(got, anchor);
+    for (HwQubit h = 0; h < m.numQubits(); ++h) {
+        if (used[h])
+            continue;
+        EXPECT_LE(got_cost, m.mostReliablePathCost(h, anchor) + 1e-12);
+    }
+}
+
+TEST(BestAttachedLocation, ReturnsInvalidWhenFull)
+{
+    Machine m = day0();
+    std::vector<bool> used(m.numQubits(), true);
+    EXPECT_EQ(bestAttachedLocation(m, {}, used), kInvalidQubit);
+}
+
+} // namespace
+} // namespace qc

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Machine derived-table tests: one-bend paths (EC / Delta matrices),
+ * the noise-unaware duration model, and Dijkstra most-reliable paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "test_util.hpp"
+
+namespace qc {
+namespace {
+
+using test::day0;
+
+class OneBendPaths : public ::testing::Test
+{
+  protected:
+    Machine m_ = day0();
+};
+
+TEST_F(OneBendPaths, CountMatchesAlignment)
+{
+    const auto &topo = m_.topo();
+    for (HwQubit a = 0; a < topo.numQubits(); ++a) {
+        for (HwQubit b = 0; b < topo.numQubits(); ++b) {
+            if (a == b)
+                continue;
+            GridPos pa = topo.posOf(a);
+            GridPos pb = topo.posOf(b);
+            bool aligned = pa.x == pb.x || pa.y == pb.y;
+            EXPECT_EQ(m_.numOneBendPaths(a, b), aligned ? 1 : 2)
+                << "pair " << a << "," << b;
+        }
+    }
+}
+
+TEST_F(OneBendPaths, PathsAreValidWalks)
+{
+    const auto &topo = m_.topo();
+    for (HwQubit a = 0; a < topo.numQubits(); ++a) {
+        for (HwQubit b = 0; b < topo.numQubits(); ++b) {
+            if (a == b)
+                continue;
+            for (int j = 0; j < m_.numOneBendPaths(a, b); ++j) {
+                const RoutePath &r = m_.oneBendPath(a, b, j);
+                EXPECT_EQ(r.nodes.front(), a);
+                EXPECT_EQ(r.nodes.back(), b);
+                EXPECT_EQ(static_cast<int>(r.edges.size()),
+                          topo.distance(a, b));
+                for (size_t k = 0; k + 1 < r.nodes.size(); ++k)
+                    EXPECT_TRUE(
+                        topo.adjacent(r.nodes[k], r.nodes[k + 1]));
+                // The junction lies on the path.
+                EXPECT_NE(std::find(r.nodes.begin(), r.nodes.end(),
+                                    r.junction),
+                          r.nodes.end());
+                EXPECT_EQ(r.swapCount(), topo.distance(a, b) - 1);
+            }
+        }
+    }
+}
+
+TEST_F(OneBendPaths, ReliabilityMatchesFootnoteFormula)
+{
+    // EC = prod(edge_rel^3 over swap hops) * last_edge_rel.
+    const auto &topo = m_.topo();
+    const auto &cal = m_.cal();
+    for (HwQubit a = 0; a < topo.numQubits(); ++a) {
+        for (HwQubit b = 0; b < topo.numQubits(); ++b) {
+            if (a == b)
+                continue;
+            const RoutePath &r = m_.oneBendPath(a, b, 0);
+            double rel = 1.0;
+            for (size_t k = 0; k + 1 < r.edges.size(); ++k)
+                rel *= std::pow(cal.cnotReliability(r.edges[k]), 3);
+            rel *= cal.cnotReliability(r.edges.back());
+            EXPECT_NEAR(r.reliability, rel, 1e-12);
+        }
+    }
+}
+
+TEST_F(OneBendPaths, DurationMatchesSection42Formula)
+{
+    // Delta = 2 * sum(3 * dur over swap hops) + last_edge_dur.
+    const auto &cal = m_.cal();
+    for (HwQubit a = 0; a < m_.numQubits(); ++a) {
+        for (HwQubit b = 0; b < m_.numQubits(); ++b) {
+            if (a == b)
+                continue;
+            const RoutePath &r = m_.oneBendPath(a, b, 0);
+            Timeslot d = 0;
+            for (size_t k = 0; k + 1 < r.edges.size(); ++k)
+                d += 2 * 3 * cal.cnotDuration[r.edges[k]];
+            d += cal.cnotDuration[r.edges.back()];
+            EXPECT_EQ(r.duration, d);
+        }
+    }
+}
+
+TEST_F(OneBendPaths, BestSelectorsAreOptimal)
+{
+    for (HwQubit a = 0; a < m_.numQubits(); ++a) {
+        for (HwQubit b = 0; b < m_.numQubits(); ++b) {
+            if (a == b)
+                continue;
+            double best_rel = m_.bestPathReliability(a, b);
+            Timeslot best_dur = m_.bestPathDuration(a, b);
+            for (int j = 0; j < m_.numOneBendPaths(a, b); ++j) {
+                EXPECT_GE(best_rel + 1e-15,
+                          m_.oneBendPath(a, b, j).reliability);
+                EXPECT_LE(best_dur, m_.oneBendPath(a, b, j).duration);
+            }
+        }
+    }
+}
+
+TEST_F(OneBendPaths, AdjacentPairIsSingleCnot)
+{
+    const auto &topo = m_.topo();
+    const auto &cal = m_.cal();
+    for (const auto &e : topo.edges()) {
+        const RoutePath &r = m_.bestReliabilityPath(e.a, e.b);
+        EXPECT_EQ(r.edges.size(), 1u);
+        EXPECT_EQ(r.swapCount(), 0);
+        EdgeId id = topo.edgeBetween(e.a, e.b);
+        EXPECT_NEAR(r.reliability, cal.cnotReliability(id), 1e-12);
+        EXPECT_EQ(r.duration, cal.cnotDuration[id]);
+    }
+}
+
+TEST_F(OneBendPaths, UniformRouteDuration)
+{
+    Timeslot tau = m_.uniformCnotDuration();
+    EXPECT_EQ(m_.uniformRouteDuration(1), tau);
+    EXPECT_EQ(m_.uniformRouteDuration(2), 2 * 3 * tau + tau);
+    EXPECT_EQ(m_.uniformRouteDuration(4), 2 * 3 * 3 * tau + tau);
+}
+
+TEST_F(OneBendPaths, StaticCoherenceIs1000Slots)
+{
+    EXPECT_EQ(Machine::kStaticCoherenceSlots, 1000);
+}
+
+class DijkstraPaths : public ::testing::Test
+{
+  protected:
+    Machine m_ = day0();
+};
+
+TEST_F(DijkstraPaths, CostIsSumOfNegLogs)
+{
+    const auto &topo = m_.topo();
+    const auto &cal = m_.cal();
+    for (HwQubit a = 0; a < topo.numQubits(); ++a) {
+        for (HwQubit b = 0; b < topo.numQubits(); ++b) {
+            if (a == b) {
+                EXPECT_DOUBLE_EQ(m_.mostReliablePathCost(a, b), 0.0);
+                continue;
+            }
+            auto path = m_.mostReliablePath(a, b);
+            double cost = 0.0;
+            for (size_t k = 0; k + 1 < path.size(); ++k) {
+                EdgeId e = topo.edgeBetween(path[k], path[k + 1]);
+                ASSERT_NE(e, kInvalidEdge);
+                cost += -std::log(cal.cnotReliability(e));
+            }
+            EXPECT_NEAR(m_.mostReliablePathCost(a, b), cost, 1e-9);
+            EXPECT_NEAR(m_.mostReliablePathReliability(a, b),
+                        std::exp(-cost), 1e-9);
+        }
+    }
+}
+
+TEST_F(DijkstraPaths, NeverWorseThanOneBendPaths)
+{
+    // The Dijkstra path maximizes the product of edge reliabilities;
+    // any one-bend path is a candidate, so it cannot beat Dijkstra.
+    for (HwQubit a = 0; a < m_.numQubits(); ++a) {
+        for (HwQubit b = 0; b < m_.numQubits(); ++b) {
+            if (a == b)
+                continue;
+            for (int j = 0; j < m_.numOneBendPaths(a, b); ++j) {
+                const RoutePath &obp = m_.oneBendPath(a, b, j);
+                double obp_product = 1.0;
+                for (EdgeId e : obp.edges)
+                    obp_product *= m_.cal().cnotReliability(e);
+                EXPECT_GE(m_.mostReliablePathReliability(a, b) + 1e-12,
+                          obp_product);
+            }
+        }
+    }
+}
+
+TEST_F(DijkstraPaths, RouteHasSwapAccounting)
+{
+    // dijkstraRoute applies the same SWAP-chain cost model as
+    // one-bend routes: rel = prod(edge^3 over hops) * last edge.
+    // (The most reliable path may detour around a bad direct edge,
+    // so the hop count is >= the grid distance.)
+    const auto &topo = m_.topo();
+    const auto &cal = m_.cal();
+    for (HwQubit a = 0; a < m_.numQubits(); ++a) {
+        for (HwQubit b = 0; b < m_.numQubits(); ++b) {
+            if (a == b)
+                continue;
+            RoutePath r = m_.dijkstraRoute(a, b);
+            EXPECT_GE(static_cast<int>(r.edges.size()),
+                      topo.distance(a, b));
+            double rel = 1.0;
+            for (size_t k = 0; k + 1 < r.edges.size(); ++k)
+                rel *= std::pow(cal.cnotReliability(r.edges[k]), 3);
+            rel *= cal.cnotReliability(r.edges.back());
+            EXPECT_NEAR(r.reliability, rel, 1e-12);
+        }
+    }
+}
+
+TEST_F(DijkstraPaths, ReadoutOrdering)
+{
+    auto order = m_.qubitsByReadoutReliability();
+    ASSERT_EQ(static_cast<int>(order.size()), m_.numQubits());
+    for (size_t i = 0; i + 1 < order.size(); ++i)
+        EXPECT_LE(m_.cal().readoutError[order[i]],
+                  m_.cal().readoutError[order[i + 1]]);
+}
+
+} // namespace
+} // namespace qc

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Reliability-objective arithmetic tests: scaled logs, Eq. 12
+ * weighting and the ordered CNOT weight decomposition.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "solver/objective.hpp"
+#include "test_util.hpp"
+
+namespace qc {
+namespace {
+
+using test::day0;
+
+TEST(ScaledLog, Values)
+{
+    EXPECT_EQ(scaledLog(1.0), 0);
+    EXPECT_EQ(scaledLog(0.5),
+              static_cast<std::int64_t>(
+                  std::llround(std::log(0.5) * kLogScale)));
+    EXPECT_LT(scaledLog(0.9), 0);
+    EXPECT_LT(scaledLog(0.5), scaledLog(0.9));
+    EXPECT_DEATH(scaledLog(0.0), "reliability");
+    EXPECT_DEATH(scaledLog(1.5), "reliability");
+}
+
+TEST(ReliabilityBreakdown, WeightedEq12)
+{
+    ReliabilityBreakdown rb;
+    rb.readoutLog = -0.2;
+    rb.cnotLog = -0.6;
+    EXPECT_NEAR(rb.weighted(1.0), -0.2, 1e-12);
+    EXPECT_NEAR(rb.weighted(0.0), -0.6, 1e-12);
+    EXPECT_NEAR(rb.weighted(0.5), -0.4, 1e-12);
+    EXPECT_NEAR(rb.successEstimate(), std::exp(-0.8), 1e-12);
+}
+
+TEST(EvaluateReliability, AdjacentPairManualCheck)
+{
+    Machine m = day0();
+    Circuit c("pair", 2);
+    c.cnot(0, 1);
+    c.measure(0, 0);
+    c.measure(1, 1);
+    std::vector<HwQubit> layout{0, 1};
+    auto rb = evaluateReliability(c, layout, m);
+
+    EdgeId e = m.topo().edgeBetween(0, 1);
+    double expect_cnot = std::log(m.cal().cnotReliability(e));
+    double expect_ro = std::log(m.cal().readoutReliability(0)) +
+                       std::log(m.cal().readoutReliability(1));
+    EXPECT_NEAR(rb.cnotLog, expect_cnot, 1e-12);
+    EXPECT_NEAR(rb.readoutLog, expect_ro, 1e-12);
+}
+
+TEST(EvaluateReliability, UsesBestJunctionByDefault)
+{
+    Machine m = day0();
+    Circuit c("diag", 2);
+    c.cnot(0, 1);
+    // Map to a diagonal pair: two distinct one-bend routes.
+    std::vector<HwQubit> layout{m.topo().qubitAt(0, 0),
+                                m.topo().qubitAt(1, 2)};
+    auto rb = evaluateReliability(c, layout, m);
+    EXPECT_NEAR(rb.cnotLog,
+                std::log(m.bestPathReliability(layout[0], layout[1])),
+                1e-12);
+
+    // Pinning the worse junction yields a lower score.
+    int worse = m.oneBendPath(layout[0], layout[1], 0).reliability <
+                        m.oneBendPath(layout[0], layout[1], 1)
+                            .reliability
+                    ? 0
+                    : 1;
+    std::vector<int> junctions{worse};
+    auto rb2 = evaluateReliability(c, layout, m, &junctions);
+    EXPECT_LE(rb2.cnotLog, rb.cnotLog + 1e-12);
+}
+
+TEST(OrderedCnotWeights, CountsDirections)
+{
+    Circuit c("w", 3);
+    c.cnot(0, 1);
+    c.cnot(0, 1);
+    c.cnot(1, 0);
+    c.cnot(2, 1);
+    c.measure(1, 1);
+    c.measure(1, 1); // measured twice
+    OrderedCnotWeights w(c);
+    EXPECT_EQ(w.weight(0, 1), 2);
+    EXPECT_EQ(w.weight(1, 0), 1);
+    EXPECT_EQ(w.weight(2, 1), 1);
+    EXPECT_EQ(w.weight(1, 2), 0);
+    EXPECT_EQ(w.readouts(1), 2);
+    EXPECT_EQ(w.readouts(0), 0);
+    EXPECT_EQ(w.entries().size(), 3u);
+}
+
+TEST(EvaluateReliability, HigherWeightOnReadoutFavorsReadout)
+{
+    // Sanity on Eq. 12 semantics: w = 1 scores only readout terms.
+    Machine m = day0();
+    Circuit c("pair", 2);
+    c.cnot(0, 1);
+    c.measure(0, 0);
+    std::vector<HwQubit> layout{0, 1};
+    auto rb = evaluateReliability(c, layout, m);
+    EXPECT_NEAR(rb.weighted(1.0), rb.readoutLog, 1e-12);
+    EXPECT_NEAR(rb.weighted(0.0), rb.cnotLog, 1e-12);
+}
+
+} // namespace
+} // namespace qc

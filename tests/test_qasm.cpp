@@ -1,0 +1,101 @@
+/**
+ * @file
+ * OpenQASM emitter/parser tests, including round-trips over every
+ * benchmark and hardware-level circuits with SWAP expansion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/qasm.hpp"
+#include "sim/executor.hpp"
+#include "support/logging.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace qc {
+namespace {
+
+TEST(QasmEmit, Preamble)
+{
+    Circuit c("demo", 2);
+    c.h(0);
+    c.cnot(0, 1);
+    c.measure(1, 1);
+    std::string q = emitQasm(c);
+    EXPECT_NE(q.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_NE(q.find("qreg q[2];"), std::string::npos);
+    EXPECT_NE(q.find("creg c[2];"), std::string::npos);
+    EXPECT_NE(q.find("h q[0];"), std::string::npos);
+    EXPECT_NE(q.find("cx q[0],q[1];"), std::string::npos);
+    EXPECT_NE(q.find("measure q[1] -> c[1];"), std::string::npos);
+}
+
+TEST(QasmEmit, SwapExpandsToThreeCnots)
+{
+    Circuit c("swp", 2);
+    c.swap(0, 1);
+    std::string q = emitQasm(c);
+    EXPECT_NE(q.find("cx q[0],q[1];\ncx q[1],q[0];\ncx q[0],q[1];"),
+              std::string::npos);
+    EXPECT_EQ(q.find("swap"), std::string::npos);
+}
+
+TEST(QasmParse, RoundTripSimple)
+{
+    Circuit c("demo", 3);
+    c.h(0);
+    c.t(1);
+    c.sdg(2);
+    c.cnot(0, 2);
+    c.measure(0, 0);
+    Circuit back = parseQasm(emitQasm(c));
+    ASSERT_EQ(back.size(), c.size());
+    for (size_t i = 0; i < c.size(); ++i)
+        EXPECT_TRUE(back.gate(i) == c.gate(i));
+    EXPECT_EQ(back.numQubits(), 3);
+    EXPECT_EQ(back.numClbits(), 3);
+}
+
+TEST(QasmParse, Errors)
+{
+    EXPECT_THROW(parseQasm("h q[0];"), FatalError);          // no qreg
+    EXPECT_THROW(parseQasm("qreg q[2]; bogus q[0];"), FatalError);
+    EXPECT_THROW(parseQasm("qreg q[2]; cx q[0];"), FatalError);
+    EXPECT_THROW(parseQasm("qreg q[2]; h q[0]"), FatalError); // no ';'
+}
+
+TEST(QasmParse, CommentsAndBarriersIgnored)
+{
+    Circuit c = parseQasm("// header\nOPENQASM 2.0;\nqreg q[2];\n"
+                          "barrier q[0];\nh q[1]; // trailing\n");
+    EXPECT_EQ(c.size(), 1u);
+    EXPECT_EQ(c.gate(0).op, Op::H);
+    EXPECT_EQ(c.gate(0).q0, 1);
+}
+
+class QasmRoundTrip : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(QasmRoundTrip, BenchmarkSurvivesRoundTrip)
+{
+    Benchmark b = benchmarkByName(GetParam());
+    Circuit back = parseQasm(emitQasm(b.circuit), b.name);
+    ASSERT_EQ(back.size(), b.circuit.size());
+    for (size_t i = 0; i < back.size(); ++i)
+        EXPECT_TRUE(back.gate(i) == b.circuit.gate(i)) << "gate " << i;
+}
+
+TEST_P(QasmRoundTrip, RoundTripPreservesSemantics)
+{
+    Benchmark b = benchmarkByName(GetParam());
+    Circuit back = parseQasm(emitQasm(b.circuit), b.name);
+    EXPECT_EQ(idealOutcome(back), b.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, QasmRoundTrip,
+    ::testing::Values("BV4", "BV6", "BV8", "HS2", "HS4", "HS6", "Toffoli",
+                      "Fredkin", "Or", "Peres", "QFT", "Adder"));
+
+} // namespace
+} // namespace qc

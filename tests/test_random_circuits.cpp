@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Random-circuit generator tests: determinism, gate-set membership,
+ * qubit coverage and spec validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.hpp"
+#include "workloads/random_circuits.hpp"
+
+namespace qc {
+namespace {
+
+TEST(RandomCircuits, Deterministic)
+{
+    RandomCircuitSpec spec;
+    spec.numQubits = 8;
+    spec.numGates = 256;
+    spec.seed = 99;
+    Circuit a = makeRandomCircuit(spec);
+    Circuit b = makeRandomCircuit(spec);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_TRUE(a.gate(i) == b.gate(i));
+
+    spec.seed = 100;
+    Circuit c = makeRandomCircuit(spec);
+    bool any_diff = c.size() != a.size();
+    for (size_t i = 0; !any_diff && i < a.size(); ++i)
+        any_diff = !(a.gate(i) == c.gate(i));
+    EXPECT_TRUE(any_diff);
+}
+
+class RandomSpecs
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(RandomSpecs, CountsAndCoverage)
+{
+    auto [qubits, gates] = GetParam();
+    RandomCircuitSpec spec;
+    spec.numQubits = qubits;
+    spec.numGates = gates;
+    spec.seed = 7;
+    Circuit c = makeRandomCircuit(spec);
+    EXPECT_EQ(c.gateCount(), gates);
+    EXPECT_EQ(c.measureCount(), qubits);
+    for (int q = 0; q < qubits; ++q)
+        EXPECT_TRUE(c.usesQubit(q)) << "qubit " << q << " unused";
+}
+
+TEST_P(RandomSpecs, GateSetIsUniversalSet)
+{
+    auto [qubits, gates] = GetParam();
+    RandomCircuitSpec spec;
+    spec.numQubits = qubits;
+    spec.numGates = gates;
+    spec.seed = 13;
+    Circuit c = makeRandomCircuit(spec);
+    for (const auto &g : c.gates()) {
+        switch (g.op) {
+          case Op::H:
+          case Op::X:
+          case Op::Y:
+          case Op::Z:
+          case Op::S:
+          case Op::T:
+          case Op::Measure:
+            break;
+          case Op::CNOT:
+            EXPECT_NE(g.q0, g.q1);
+            break;
+          default:
+            FAIL() << "unexpected op " << opName(g.op);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RandomSpecs,
+                         ::testing::Values(std::pair{4, 128},
+                                           std::pair{8, 256},
+                                           std::pair{16, 512},
+                                           std::pair{32, 384},
+                                           std::pair{128, 2048}));
+
+TEST(RandomCircuits, NoMeasureOption)
+{
+    RandomCircuitSpec spec;
+    spec.numQubits = 4;
+    spec.numGates = 32;
+    spec.measureAll = false;
+    Circuit c = makeRandomCircuit(spec);
+    EXPECT_EQ(c.measureCount(), 0);
+}
+
+TEST(RandomCircuits, RejectsBadSpecs)
+{
+    RandomCircuitSpec spec;
+    spec.numQubits = 1;
+    EXPECT_THROW(makeRandomCircuit(spec), FatalError);
+    spec.numQubits = 4;
+    spec.numGates = 0;
+    EXPECT_THROW(makeRandomCircuit(spec), FatalError);
+}
+
+TEST(RandomCircuits, CnotFractionReasonable)
+{
+    RandomCircuitSpec spec;
+    spec.numQubits = 16;
+    spec.numGates = 2048;
+    spec.seed = 21;
+    Circuit c = makeRandomCircuit(spec);
+    double frac = static_cast<double>(c.twoQubitCount()) /
+                  static_cast<double>(c.gateCount());
+    // Uniform over {H,X,Y,Z,S,T,CNOT} -> ~1/7 CNOTs.
+    EXPECT_NEAR(frac, 1.0 / 7.0, 0.04);
+}
+
+} // namespace
+} // namespace qc

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Routing-geometry tests: rectangle overlap (Eq. 7), reserved regions
+ * for RR / 1BP / Dijkstra routes, and SWAP-chain expansion.
+ */
+
+#include <gtest/gtest.h>
+
+#include "route/region.hpp"
+#include "route/routing.hpp"
+#include "test_util.hpp"
+
+namespace qc {
+namespace {
+
+using test::day0;
+
+TEST(Rect, SpanningNormalizes)
+{
+    Rect r = Rect::spanning({3, 1}, {0, 5});
+    EXPECT_EQ(r.x0, 0);
+    EXPECT_EQ(r.x1, 3);
+    EXPECT_EQ(r.y0, 1);
+    EXPECT_EQ(r.y1, 5);
+    EXPECT_EQ(r.area(), 4 * 5);
+}
+
+TEST(Rect, OverlapCases)
+{
+    Rect a = Rect::spanning({0, 0}, {1, 3});
+    Rect b = Rect::spanning({1, 3}, {2, 5}); // touches at (1,3)
+    Rect c = Rect::spanning({2, 4}, {3, 7});
+    EXPECT_TRUE(a.overlaps(b));
+    EXPECT_TRUE(b.overlaps(a));
+    EXPECT_FALSE(a.overlaps(c));
+    EXPECT_TRUE(b.overlaps(c));
+    EXPECT_TRUE(a.overlaps(a));
+}
+
+TEST(Rect, Contains)
+{
+    Rect r = Rect::spanning({0, 2}, {1, 4});
+    EXPECT_TRUE(r.contains({0, 3}));
+    EXPECT_TRUE(r.contains({1, 4}));
+    EXPECT_FALSE(r.contains({0, 5}));
+}
+
+TEST(Region, OverlapAnyPair)
+{
+    Region a{{Rect::spanning({0, 0}, {0, 1}),
+              Rect::spanning({1, 5}, {1, 6})}};
+    Region b{{Rect::spanning({1, 6}, {1, 7})}};
+    Region c{{Rect::spanning({0, 3}, {0, 4})}};
+    EXPECT_TRUE(a.overlaps(b));
+    EXPECT_FALSE(a.overlaps(c));
+    EXPECT_TRUE(a.contains({1, 5}));
+    EXPECT_FALSE(a.contains({0, 4}));
+}
+
+class RouteRegions : public ::testing::Test
+{
+  protected:
+    Machine m_ = day0();
+};
+
+TEST_F(RouteRegions, RectangleReservationIsBoundingBox)
+{
+    const auto &topo = m_.topo();
+    for (HwQubit a = 0; a < topo.numQubits(); ++a) {
+        for (HwQubit b = 0; b < topo.numQubits(); ++b) {
+            if (a == b)
+                continue;
+            const RoutePath &r = m_.oneBendPath(a, b, 0);
+            Region region = routeRegion(
+                topo, r, RoutingPolicy::RectangleReservation);
+            ASSERT_EQ(region.rects.size(), 1u);
+            Rect bb = Rect::spanning(topo.posOf(a), topo.posOf(b));
+            EXPECT_EQ(region.rects[0].x0, bb.x0);
+            EXPECT_EQ(region.rects[0].x1, bb.x1);
+            EXPECT_EQ(region.rects[0].y0, bb.y0);
+            EXPECT_EQ(region.rects[0].y1, bb.y1);
+            // Every route node sits inside the reservation.
+            for (HwQubit h : r.nodes)
+                EXPECT_TRUE(region.contains(topo.posOf(h)));
+        }
+    }
+}
+
+TEST_F(RouteRegions, OneBendRegionCoversPathOnly)
+{
+    const auto &topo = m_.topo();
+    for (HwQubit a = 0; a < topo.numQubits(); ++a) {
+        for (HwQubit b = 0; b < topo.numQubits(); ++b) {
+            if (a == b)
+                continue;
+            for (int j = 0; j < m_.numOneBendPaths(a, b); ++j) {
+                const RoutePath &r = m_.oneBendPath(a, b, j);
+                Region region =
+                    routeRegion(topo, r, RoutingPolicy::OneBendPath);
+                EXPECT_EQ(region.rects.size(), 2u);
+                for (HwQubit h : r.nodes)
+                    EXPECT_TRUE(region.contains(topo.posOf(h)));
+                // 1BP legs are lines: total covered cells is at most
+                // the path length + 1 (junction counted twice).
+                int cells = 0;
+                for (const auto &rect : region.rects)
+                    cells += rect.area();
+                EXPECT_LE(cells,
+                          static_cast<int>(r.nodes.size()) + 1);
+            }
+        }
+    }
+}
+
+TEST_F(RouteRegions, DijkstraRegionIsPerNode)
+{
+    const auto &topo = m_.topo();
+    RoutePath r = m_.dijkstraRoute(0, topo.numQubits() - 1);
+    Region region = routeRegion(topo, r, RoutingPolicy::OneBendPath);
+    EXPECT_EQ(region.rects.size(), r.nodes.size());
+    for (HwQubit h : r.nodes)
+        EXPECT_TRUE(region.contains(topo.posOf(h)));
+}
+
+class RouteExpansion : public ::testing::Test
+{
+  protected:
+    Machine m_ = day0();
+};
+
+TEST_F(RouteExpansion, AdjacentPairIsBareCnot)
+{
+    auto ops = expandRoute(m_, m_.bestReliabilityPath(0, 1));
+    ASSERT_EQ(ops.size(), 1u);
+    EXPECT_EQ(ops[0].gate.op, Op::CNOT);
+    EXPECT_FALSE(ops[0].isRouteSwap);
+    EXPECT_EQ(ops[0].offset, 0);
+}
+
+TEST_F(RouteExpansion, DistantPairSwapsThereAndBack)
+{
+    const auto &topo = m_.topo();
+    HwQubit a = topo.qubitAt(0, 0);
+    HwQubit b = topo.qubitAt(1, 3);
+    const RoutePath &r = m_.bestReliabilityPath(a, b);
+    int d = topo.distance(a, b);
+    auto ops = expandRoute(m_, r);
+    // (d-1) forward SWAPs + CNOT + (d-1) restore SWAPs.
+    ASSERT_EQ(static_cast<int>(ops.size()), 2 * (d - 1) + 1);
+    int swaps = 0;
+    Timeslot total = 0;
+    Timeslot cursor = 0;
+    for (const auto &op : ops) {
+        EXPECT_EQ(op.offset, cursor) << "ops must be back-to-back";
+        cursor += op.duration;
+        total += op.duration;
+        if (op.gate.op == Op::Swap) {
+            ++swaps;
+            EXPECT_TRUE(op.isRouteSwap);
+        }
+    }
+    EXPECT_EQ(swaps, 2 * (d - 1));
+    EXPECT_EQ(total, r.duration);
+    // Middle op is the CNOT, adjacent to the target.
+    const auto &mid = ops[static_cast<size_t>(d - 1)];
+    EXPECT_EQ(mid.gate.op, Op::CNOT);
+    EXPECT_EQ(mid.gate.q1, b);
+    EXPECT_TRUE(topo.adjacent(mid.gate.q0, b));
+    // Restore swaps mirror the forward ones.
+    EXPECT_EQ(ops.front().gate.q0, ops.back().gate.q1);
+    EXPECT_EQ(ops.front().gate.q1, ops.back().gate.q0);
+}
+
+TEST_F(RouteExpansion, UniformDurationsMatchStaticModel)
+{
+    const auto &topo = m_.topo();
+    HwQubit a = topo.qubitAt(0, 0);
+    HwQubit b = topo.qubitAt(0, 4);
+    const RoutePath &r = m_.bestDurationPath(a, b);
+    Timeslot tau = m_.uniformCnotDuration();
+    auto ops = expandRoute(m_, r, tau);
+    Timeslot total = 0;
+    for (const auto &op : ops)
+        total += op.duration;
+    EXPECT_EQ(total, m_.uniformRouteDuration(topo.distance(a, b)));
+}
+
+TEST(RoutingPolicy, Names)
+{
+    EXPECT_STREQ(routingPolicyName(RoutingPolicy::RectangleReservation),
+                 "RR");
+    EXPECT_STREQ(routingPolicyName(RoutingPolicy::OneBendPath), "1BP");
+}
+
+} // namespace
+} // namespace qc

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * List-scheduler tests: layout validation, dependency and
+ * routing-overlap invariants (swept over benchmarks and route
+ * selections), duration models and coherence checking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "ir/dag.hpp"
+#include "test_util.hpp"
+
+namespace qc {
+namespace {
+
+using test::day0;
+using test::expectScheduleWellFormed;
+
+TEST(ValidateLayout, CatchesBadLayouts)
+{
+    EXPECT_THROW(validateLayout({0, 1}, 3, 16), FatalError); // arity
+    EXPECT_THROW(validateLayout({0, 0, 1}, 3, 16), FatalError); // dup
+    EXPECT_THROW(validateLayout({0, 1, 16}, 3, 16), FatalError); // range
+    EXPECT_THROW(validateLayout({-1, 1, 2}, 3, 16), FatalError);
+    EXPECT_NO_THROW(validateLayout({3, 1, 2}, 3, 16));
+}
+
+/** Identity layout over the program's qubit count. */
+std::vector<HwQubit>
+identityLayout(const Circuit &prog)
+{
+    std::vector<HwQubit> layout(prog.numQubits());
+    for (int q = 0; q < prog.numQubits(); ++q)
+        layout[q] = q;
+    return layout;
+}
+
+struct SchedCase
+{
+    std::string benchmark;
+    RouteSelect select;
+    RoutingPolicy policy;
+    bool calibrated;
+};
+
+class SchedulerSweep : public ::testing::TestWithParam<SchedCase>
+{
+};
+
+TEST_P(SchedulerSweep, InvariantsHold)
+{
+    const auto &p = GetParam();
+    Machine m = day0();
+    Benchmark b = benchmarkByName(p.benchmark);
+
+    SchedulerOptions opts;
+    opts.policy = p.policy;
+    opts.select = p.select;
+    opts.calibratedDurations = p.calibrated;
+    if (p.select == RouteSelect::Fixed) {
+        opts.fixedJunctions.assign(b.circuit.size(), -1);
+        for (size_t i = 0; i < b.circuit.size(); ++i)
+            if (b.circuit.gate(i).op == Op::CNOT)
+                opts.fixedJunctions[i] = static_cast<int>(i) % 2;
+    }
+
+    ListScheduler sched(m, opts);
+    Schedule s = sched.run(b.circuit, identityLayout(b.circuit));
+
+    expectScheduleWellFormed(m, s);
+
+    // Macro timings respect the program dependency DAG.
+    DependencyDag dag(b.circuit);
+    for (size_t i = 0; i < b.circuit.size(); ++i)
+        for (int pred : dag.preds(static_cast<int>(i)))
+            EXPECT_GE(s.macros[i].start, s.macros[pred].finish());
+
+    // Makespan is bounded below by the critical path with the chosen
+    // durations.
+    std::vector<Timeslot> durations(b.circuit.size());
+    for (size_t i = 0; i < b.circuit.size(); ++i)
+        durations[i] = s.macros[i].duration;
+    EXPECT_GE(s.makespan, dag.criticalPath(durations));
+}
+
+std::vector<SchedCase>
+schedCases()
+{
+    std::vector<SchedCase> cases;
+    for (const char *name :
+         {"BV4", "BV8", "HS6", "Toffoli", "Fredkin", "Adder", "QFT"}) {
+        cases.push_back({name, RouteSelect::BestReliability,
+                         RoutingPolicy::OneBendPath, true});
+        cases.push_back({name, RouteSelect::BestDuration,
+                         RoutingPolicy::RectangleReservation, true});
+        cases.push_back({name, RouteSelect::Dijkstra,
+                         RoutingPolicy::OneBendPath, true});
+        cases.push_back({name, RouteSelect::Fixed,
+                         RoutingPolicy::OneBendPath, false});
+    }
+    return cases;
+}
+
+std::string
+schedCaseName(const ::testing::TestParamInfo<SchedCase> &info)
+{
+    const auto &c = info.param;
+    std::string sel = c.select == RouteSelect::BestReliability ? "rel"
+                      : c.select == RouteSelect::BestDuration  ? "dur"
+                      : c.select == RouteSelect::Dijkstra      ? "dij"
+                                                               : "fix";
+    return c.benchmark + "_" + sel + "_" +
+           routingPolicyName(c.policy) + (c.calibrated ? "_cal" : "_uni");
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SchedulerSweep,
+                         ::testing::ValuesIn(schedCases()),
+                         schedCaseName);
+
+TEST(Scheduler, AdjacentCnotNeedsNoSwap)
+{
+    Machine m = day0();
+    Circuit c("pair", 2);
+    c.h(0);
+    c.cnot(0, 1);
+    c.measure(1, 1);
+    ListScheduler sched(m, {});
+    Schedule s = sched.run(c, {0, 1});
+    EXPECT_EQ(s.swapCount(), 0);
+    EXPECT_EQ(s.hwCnotCount(), 1);
+}
+
+TEST(Scheduler, DistantCnotInsertsRestoreSwaps)
+{
+    Machine m = day0();
+    Circuit c("far", 2);
+    c.cnot(0, 1);
+    ListScheduler sched(m, {});
+    // Map the qubits three hops apart.
+    Schedule s = sched.run(c, {m.topo().qubitAt(0, 0),
+                               m.topo().qubitAt(0, 3)});
+    EXPECT_EQ(s.swapCount(), 2 * (3 - 1));
+    EXPECT_EQ(s.hwCnotCount(), 3 * 4 + 1);
+}
+
+TEST(Scheduler, UniformModeUsesStaticDurations)
+{
+    Machine m = day0();
+    Circuit c("pair", 2);
+    c.cnot(0, 1);
+    SchedulerOptions opts;
+    opts.calibratedDurations = false;
+    opts.select = RouteSelect::BestDuration;
+    ListScheduler sched(m, opts);
+    Schedule s = sched.run(c, {0, 1});
+    EXPECT_EQ(s.makespan, m.uniformCnotDuration());
+}
+
+TEST(Scheduler, ParallelCnotsOverlapWhenRegionsDisjoint)
+{
+    Machine m = day0();
+    Circuit c("par", 4);
+    c.cnot(0, 1);
+    c.cnot(2, 3);
+    ListScheduler sched(m, {});
+    // Far-apart adjacent pairs: (0,0)-(0,1) and (1,6)-(1,7).
+    Schedule s = sched.run(c, {m.topo().qubitAt(0, 0),
+                               m.topo().qubitAt(0, 1),
+                               m.topo().qubitAt(1, 6),
+                               m.topo().qubitAt(1, 7)});
+    EXPECT_EQ(s.macros[0].start, 0);
+    EXPECT_EQ(s.macros[1].start, 0); // runs in parallel
+}
+
+TEST(Scheduler, OverlappingRegionsSerialize)
+{
+    Machine m = day0();
+    Circuit c("conflict", 4);
+    c.cnot(0, 1);
+    c.cnot(2, 3);
+    SchedulerOptions opts;
+    opts.policy = RoutingPolicy::RectangleReservation;
+    opts.select = RouteSelect::BestDuration;
+    ListScheduler sched(m, opts);
+    // Both bounding rectangles cover rows 0-1, columns 3-4: overlap.
+    Schedule s = sched.run(c, {m.topo().qubitAt(0, 3),
+                               m.topo().qubitAt(1, 4),
+                               m.topo().qubitAt(1, 3),
+                               m.topo().qubitAt(0, 4)});
+    bool disjoint = s.macros[0].finish() <= s.macros[1].start ||
+                    s.macros[1].finish() <= s.macros[0].start;
+    EXPECT_TRUE(disjoint);
+}
+
+TEST(Scheduler, CoherenceViolationDetection)
+{
+    Machine m = day0();
+    Circuit c("pair", 2);
+    c.cnot(0, 1);
+    c.measure(0, 0);
+    ListScheduler sched(m, {});
+    Schedule s = sched.run(c, {0, 1});
+    // Real windows are generous: no violations.
+    EXPECT_TRUE(s.coherenceViolations(m.cal()).empty());
+    // An absurd static limit flags both qubits.
+    auto vs = s.coherenceViolations(m.cal(), 1);
+    EXPECT_EQ(vs.size(), 2u);
+    EXPECT_EQ(vs[0].limit, 1);
+}
+
+TEST(Scheduler, RejectsProgramLevelSwap)
+{
+    Machine m = day0();
+    Circuit c("bad", 2);
+    c.swap(0, 1);
+    ListScheduler sched(m, {});
+    EXPECT_THROW(sched.run(c, {0, 1}), FatalError);
+}
+
+TEST(Schedule, HwCircuitPreservesOps)
+{
+    Machine m = day0();
+    Benchmark b = benchmarkByName("BV4");
+    ListScheduler sched(m, {});
+    std::vector<HwQubit> layout{0, 1, 2, 3};
+    Schedule s = sched.run(b.circuit, layout);
+    Circuit hw = s.toHwCircuit("bv4_hw", b.circuit.numClbits());
+    EXPECT_EQ(hw.size(), s.ops.size());
+    EXPECT_EQ(hw.numQubits(), m.numQubits());
+}
+
+} // namespace
+} // namespace qc

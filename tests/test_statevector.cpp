@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Statevector simulator tests: gate algebra, entanglement, phases,
+ * measurement collapse and norm preservation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/statevector.hpp"
+#include "support/logging.hpp"
+#include "workloads/random_circuits.hpp"
+
+namespace qc {
+namespace {
+
+TEST(Statevector, InitialState)
+{
+    Statevector sv(3);
+    EXPECT_EQ(sv.dimension(), 8u);
+    EXPECT_NEAR(std::abs(sv.amp(0)), 1.0, 1e-12);
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+    EXPECT_NEAR(sv.probOne(0), 0.0, 1e-12);
+}
+
+TEST(Statevector, RejectsBadSizes)
+{
+    EXPECT_THROW(Statevector(0), FatalError);
+    EXPECT_THROW(Statevector(30), FatalError);
+}
+
+TEST(Statevector, XFlips)
+{
+    Statevector sv(2);
+    sv.apply({Op::X, 1, kInvalidQubit, -1});
+    EXPECT_NEAR(sv.probOne(1), 1.0, 1e-12);
+    EXPECT_NEAR(sv.probOne(0), 0.0, 1e-12);
+}
+
+TEST(Statevector, HadamardSuperposesAndInverts)
+{
+    Statevector sv(1);
+    sv.apply({Op::H, 0, kInvalidQubit, -1});
+    EXPECT_NEAR(sv.probOne(0), 0.5, 1e-12);
+    sv.apply({Op::H, 0, kInvalidQubit, -1});
+    EXPECT_NEAR(sv.probOne(0), 0.0, 1e-12);
+}
+
+TEST(Statevector, PhaseGateAlgebra)
+{
+    // T^2 = S, S^2 = Z, (Tdg after T) = identity.
+    Statevector a(1), b(1);
+    a.apply({Op::H, 0, kInvalidQubit, -1});
+    b.apply({Op::H, 0, kInvalidQubit, -1});
+    a.apply({Op::T, 0, kInvalidQubit, -1});
+    a.apply({Op::T, 0, kInvalidQubit, -1});
+    b.apply({Op::S, 0, kInvalidQubit, -1});
+    for (std::uint64_t i = 0; i < a.dimension(); ++i)
+        EXPECT_NEAR(std::abs(a.amp(i) - b.amp(i)), 0.0, 1e-12);
+
+    // Apply Tdg twice to a and Sdg once to b: states stay equal.
+    a.apply({Op::Tdg, 0, kInvalidQubit, -1});
+    a.apply({Op::Tdg, 0, kInvalidQubit, -1});
+    b.apply({Op::Sdg, 0, kInvalidQubit, -1});
+    for (std::uint64_t i = 0; i < a.dimension(); ++i)
+        EXPECT_NEAR(std::abs(a.amp(i) - b.amp(i)), 0.0, 1e-12);
+    // Both are back to H|0>: equal real amplitudes.
+    EXPECT_NEAR(std::abs(a.amp(0) - a.amp(1)), 0.0, 1e-12);
+}
+
+TEST(Statevector, YAndZ)
+{
+    Statevector sv(1);
+    sv.apply({Op::Y, 0, kInvalidQubit, -1});
+    EXPECT_NEAR(sv.probOne(0), 1.0, 1e-12);
+    sv.apply({Op::Z, 0, kInvalidQubit, -1});
+    EXPECT_NEAR(sv.probOne(0), 1.0, 1e-12);
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+class CnotTruthTable : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CnotTruthTable, BasisStates)
+{
+    int input = GetParam(); // bit0 = control, bit1 = target
+    Statevector sv(2);
+    if (input & 1)
+        sv.apply({Op::X, 0, kInvalidQubit, -1});
+    if (input & 2)
+        sv.apply({Op::X, 1, kInvalidQubit, -1});
+    sv.apply({Op::CNOT, 0, 1, -1});
+    int expected = (input & 1) ? input ^ 2 : input;
+    EXPECT_NEAR(std::abs(sv.amp(static_cast<std::uint64_t>(expected))),
+                1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInputs, CnotTruthTable,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(Statevector, BellState)
+{
+    Statevector sv(2);
+    sv.apply({Op::H, 0, kInvalidQubit, -1});
+    sv.apply({Op::CNOT, 0, 1, -1});
+    auto ps = sv.probabilities();
+    EXPECT_NEAR(ps[0], 0.5, 1e-12);
+    EXPECT_NEAR(ps[3], 0.5, 1e-12);
+    EXPECT_NEAR(ps[1] + ps[2], 0.0, 1e-12);
+}
+
+TEST(Statevector, GhzState)
+{
+    Statevector sv(4);
+    sv.apply({Op::H, 0, kInvalidQubit, -1});
+    for (int q = 0; q < 3; ++q)
+        sv.apply({Op::CNOT, q, q + 1, -1});
+    auto ps = sv.probabilities();
+    EXPECT_NEAR(ps[0], 0.5, 1e-12);
+    EXPECT_NEAR(ps[15], 0.5, 1e-12);
+}
+
+TEST(Statevector, SwapExchanges)
+{
+    Statevector sv(2);
+    sv.apply({Op::X, 0, kInvalidQubit, -1});
+    sv.apply({Op::Swap, 0, 1, -1});
+    EXPECT_NEAR(sv.probOne(0), 0.0, 1e-12);
+    EXPECT_NEAR(sv.probOne(1), 1.0, 1e-12);
+}
+
+TEST(Statevector, PauliInjection)
+{
+    Statevector sv(2);
+    sv.applyPauli(Pauli::X, 0);
+    EXPECT_NEAR(sv.probOne(0), 1.0, 1e-12);
+    sv.applyPauli(Pauli::I, 1);
+    EXPECT_NEAR(sv.probOne(1), 0.0, 1e-12);
+    sv.applyPauli(Pauli::Y, 1);
+    EXPECT_NEAR(sv.probOne(1), 1.0, 1e-12);
+    sv.applyPauli(Pauli::Z, 1);
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+TEST(Statevector, MeasureCollapses)
+{
+    Rng rng(123);
+    Statevector sv(2);
+    sv.apply({Op::X, 1, kInvalidQubit, -1});
+    EXPECT_EQ(sv.measure(1, rng), 1);
+    EXPECT_EQ(sv.measure(0, rng), 0);
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-12);
+}
+
+TEST(Statevector, MeasureStatistics)
+{
+    Rng rng(7);
+    int ones = 0;
+    for (int i = 0; i < 2000; ++i) {
+        Statevector sv(1);
+        sv.apply({Op::H, 0, kInvalidQubit, -1});
+        ones += sv.measure(0, rng);
+    }
+    EXPECT_NEAR(ones / 2000.0, 0.5, 0.05);
+}
+
+TEST(Statevector, MeasureIsProjective)
+{
+    Rng rng(9);
+    Statevector sv(2);
+    sv.apply({Op::H, 0, kInvalidQubit, -1});
+    sv.apply({Op::CNOT, 0, 1, -1});
+    int first = sv.measure(0, rng);
+    // Entangled partner must agree.
+    EXPECT_EQ(sv.measure(1, rng), first);
+}
+
+class NormPreservation : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(NormPreservation, RandomCircuitsKeepNormOne)
+{
+    RandomCircuitSpec spec;
+    spec.numQubits = 5;
+    spec.numGates = 120;
+    spec.seed = GetParam();
+    spec.measureAll = false;
+    Circuit c = makeRandomCircuit(spec);
+    Statevector sv(5);
+    for (const auto &g : c.gates())
+        sv.apply(g);
+    EXPECT_NEAR(sv.norm(), 1.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NormPreservation,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Statevector, MeasureRejectedViaApply)
+{
+    Statevector sv(1);
+    EXPECT_DEATH(sv.apply({Op::Measure, 0, kInvalidQubit, 0}),
+                 "measure");
+}
+
+} // namespace
+} // namespace qc

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the support library: RNG determinism, statistics
+ * helpers, the table printer and error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/logging.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace qc {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42, "stream");
+    Rng b(42, "stream");
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentStreamsDecorrelate)
+{
+    Rng a(42, "alpha");
+    Rng b(42, "beta");
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.uniform() == b.uniform())
+            ++equal;
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformRanges)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        double v = rng.uniform(2.0, 5.0);
+        EXPECT_GE(v, 2.0);
+        EXPECT_LT(v, 5.0);
+        int k = rng.uniformInt(3, 9);
+        EXPECT_GE(k, 3);
+        EXPECT_LE(k, 9);
+    }
+}
+
+TEST(Rng, LognormalClamped)
+{
+    Rng rng(11);
+    for (int i = 0; i < 1000; ++i) {
+        double v = rng.lognormalClamped(0.04, 0.6, 0.01, 0.35);
+        EXPECT_GE(v, 0.01);
+        EXPECT_LE(v, 0.35);
+    }
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(3);
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(5);
+    std::vector<double> xs;
+    for (int i = 0; i < 20000; ++i)
+        xs.push_back(rng.normal(10.0, 2.0));
+    EXPECT_NEAR(mean(xs), 10.0, 0.1);
+    EXPECT_NEAR(stddev(xs), 2.0, 0.1);
+}
+
+TEST(Stats, MeanAndMedian)
+{
+    EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(median({5, 1, 3}), 3.0);
+    EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(Stats, SpreadRatio)
+{
+    EXPECT_NEAR(spreadRatio({10.0, 20.0, 92.0}), 9.2, 1e-12);
+    EXPECT_DOUBLE_EQ(spreadRatio({}), 1.0);
+}
+
+TEST(Stats, MinMax)
+{
+    EXPECT_DOUBLE_EQ(minOf({3.0, -1.0, 2.0}), -1.0);
+    EXPECT_DOUBLE_EQ(maxOf({3.0, -1.0, 2.0}), 3.0);
+}
+
+TEST(Stats, BinomialHalfWidth)
+{
+    // 50% at n=100 ~ +/- 9.8%.
+    EXPECT_NEAR(binomialHalfWidth(0.5, 100), 0.098, 0.001);
+    // Shrinks with more trials.
+    EXPECT_LT(binomialHalfWidth(0.5, 8192), binomialHalfWidth(0.5, 100));
+    EXPECT_DOUBLE_EQ(binomialHalfWidth(0.5, 0), 1.0);
+}
+
+TEST(Table, FormatsAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::ostringstream oss;
+    t.print(oss);
+    std::string s = oss.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("-----"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(Table, FmtHelpers)
+{
+    EXPECT_EQ(Table::fmt(0.12345, 3), "0.123");
+    EXPECT_EQ(Table::fmt(static_cast<long long>(42)), "42");
+}
+
+TEST(Logging, FatalThrows)
+{
+    EXPECT_THROW(QC_FATAL("bad config ", 42), FatalError);
+    try {
+        QC_FATAL("value was ", 7);
+    } catch (const FatalError &e) {
+        EXPECT_NE(std::string(e.what()).find("value was 7"),
+                  std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace qc

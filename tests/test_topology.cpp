@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Grid-topology tests: construction, adjacency, distances and the
+ * IBMQ16 instance, swept over several grid shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/topology.hpp"
+#include "support/logging.hpp"
+
+namespace qc {
+namespace {
+
+class GridShapes
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(GridShapes, CountsAndCoordinates)
+{
+    auto [rows, cols] = GetParam();
+    GridTopology g(rows, cols);
+    EXPECT_EQ(g.numQubits(), rows * cols);
+    EXPECT_EQ(g.numEdges(), rows * (cols - 1) + cols * (rows - 1));
+    for (int h = 0; h < g.numQubits(); ++h) {
+        GridPos p = g.posOf(h);
+        EXPECT_EQ(g.qubitAt(p.x, p.y), h);
+    }
+}
+
+TEST_P(GridShapes, DistanceIsManhattan)
+{
+    auto [rows, cols] = GetParam();
+    GridTopology g(rows, cols);
+    for (int a = 0; a < g.numQubits(); ++a) {
+        for (int b = 0; b < g.numQubits(); ++b) {
+            GridPos pa = g.posOf(a);
+            GridPos pb = g.posOf(b);
+            int l1 = std::abs(pa.x - pb.x) + std::abs(pa.y - pb.y);
+            EXPECT_EQ(g.distance(a, b), l1);
+            EXPECT_EQ(g.adjacent(a, b), l1 == 1);
+        }
+    }
+}
+
+TEST_P(GridShapes, EdgesConsistent)
+{
+    auto [rows, cols] = GetParam();
+    GridTopology g(rows, cols);
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        const auto &edge = g.edge(e);
+        EXPECT_TRUE(g.adjacent(edge.a, edge.b));
+        EXPECT_EQ(g.edgeBetween(edge.a, edge.b), e);
+        EXPECT_EQ(g.edgeBetween(edge.b, edge.a), e);
+    }
+    // Non-adjacent pairs have no edge.
+    EXPECT_EQ(g.edgeBetween(0, g.numQubits() - 1),
+              g.numQubits() > 2 ? kInvalidEdge
+                                : g.edgeBetween(0, g.numQubits() - 1));
+}
+
+TEST_P(GridShapes, NeighborListsMatchAdjacency)
+{
+    auto [rows, cols] = GetParam();
+    GridTopology g(rows, cols);
+    for (int h = 0; h < g.numQubits(); ++h) {
+        const auto &ns = g.neighbors(h);
+        EXPECT_TRUE(std::is_sorted(ns.begin(), ns.end()));
+        for (int n : ns)
+            EXPECT_TRUE(g.adjacent(h, n));
+        int count = 0;
+        for (int other = 0; other < g.numQubits(); ++other)
+            if (g.adjacent(h, other))
+                ++count;
+        EXPECT_EQ(static_cast<int>(ns.size()), count);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GridShapes,
+                         ::testing::Values(std::pair{1, 2},
+                                           std::pair{2, 8},
+                                           std::pair{4, 4},
+                                           std::pair{3, 5},
+                                           std::pair{8, 16}));
+
+TEST(GridTopology, Ibmq16Is2x8)
+{
+    GridTopology g = GridTopology::ibmq16();
+    EXPECT_EQ(g.rows(), 2);
+    EXPECT_EQ(g.cols(), 8);
+    EXPECT_EQ(g.numQubits(), 16);
+    EXPECT_EQ(g.numEdges(), 22);
+    EXPECT_EQ(g.name(), "grid2x8");
+}
+
+TEST(GridTopology, RejectsBadDimensions)
+{
+    EXPECT_THROW(GridTopology(0, 4), FatalError);
+    EXPECT_THROW(GridTopology(4, -1), FatalError);
+}
+
+TEST(GridTopology, InteriorDegreeOn2x8)
+{
+    GridTopology g = GridTopology::ibmq16();
+    EXPECT_EQ(g.neighbors(g.qubitAt(0, 0)).size(), 2u); // corner
+    EXPECT_EQ(g.neighbors(g.qubitAt(0, 3)).size(), 3u); // edge-interior
+}
+
+} // namespace
+} // namespace qc

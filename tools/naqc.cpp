@@ -1,0 +1,231 @@
+/**
+ * @file
+ * naqc — the noise-adaptive quantum compiler CLI.
+ *
+ * Reads an OpenQASM 2.0 program, compiles it for a grid machine with
+ * one of the Table 1 mapper variants against either synthetic or
+ * user-provided calibration data, and writes IBMQ16-ready OpenQASM.
+ * Optionally Monte-Carlo-simulates the compiled program.
+ *
+ * Examples:
+ *   naqc --qasm prog.qasm --mapper 'R-SMT*' --out compiled.qasm
+ *   naqc --qasm prog.qasm --calibration today.cal --report
+ *   naqc --qasm prog.qasm --simulate 4096 --expected 1110
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/compiler.hpp"
+#include "machine/calibration_io.hpp"
+#include "sim/executor.hpp"
+#include "support/logging.hpp"
+
+namespace {
+
+using namespace qc;
+
+struct CliOptions
+{
+    std::string qasmPath;
+    std::string outPath;
+    std::string calibrationPath;
+    std::string mapper = "R-SMT*";
+    std::string expected;
+    int rows = 2;
+    int cols = 8;
+    int day = 0;
+    std::uint64_t seed = 20190131;
+    double omega = 0.5;
+    unsigned timeoutMs = 60'000;
+    int simulateTrials = 0;
+    bool report = false;
+    bool help = false;
+};
+
+void
+printUsage(std::ostream &os)
+{
+    os << "usage: naqc --qasm FILE [options]\n"
+          "  --qasm FILE          input OpenQASM 2.0 program ('-' for "
+          "stdin)\n"
+          "  --out FILE           write compiled OpenQASM here "
+          "(default: stdout)\n"
+          "  --mapper NAME        Qiskit | T-SMT | T-SMT* | R-SMT* | "
+          "GreedyV* | GreedyE*\n"
+          "  --rows R --cols C    machine grid (default 2x8, the "
+          "paper's IBMQ16)\n"
+          "  --calibration FILE   calibration snapshot (see "
+          "calibration_io.hpp)\n"
+          "  --seed S --day D     synthetic calibration instead "
+          "(defaults 20190131, 0)\n"
+          "  --omega W            Eq. 12 readout weight for R-SMT* "
+          "(default 0.5)\n"
+          "  --timeout MS         SMT budget in milliseconds (default "
+          "60000)\n"
+          "  --simulate N         Monte-Carlo N trials on the noisy "
+          "simulator\n"
+          "  --expected BITS      correct answer for --simulate "
+          "success rate\n"
+          "  --report             print mapping/reliability report to "
+          "stderr\n"
+          "  --help               this text\n";
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions opts;
+    auto need = [&](int &i, const char *flag) -> std::string {
+        if (i + 1 >= argc)
+            QC_FATAL("missing value for ", flag);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--qasm") {
+            opts.qasmPath = need(i, "--qasm");
+        } else if (arg == "--out") {
+            opts.outPath = need(i, "--out");
+        } else if (arg == "--mapper") {
+            opts.mapper = need(i, "--mapper");
+        } else if (arg == "--rows") {
+            opts.rows = std::stoi(need(i, "--rows"));
+        } else if (arg == "--cols") {
+            opts.cols = std::stoi(need(i, "--cols"));
+        } else if (arg == "--calibration") {
+            opts.calibrationPath = need(i, "--calibration");
+        } else if (arg == "--seed") {
+            opts.seed = std::stoull(need(i, "--seed"));
+        } else if (arg == "--day") {
+            opts.day = std::stoi(need(i, "--day"));
+        } else if (arg == "--omega") {
+            opts.omega = std::stod(need(i, "--omega"));
+        } else if (arg == "--timeout") {
+            opts.timeoutMs = static_cast<unsigned>(
+                std::stoul(need(i, "--timeout")));
+        } else if (arg == "--simulate") {
+            opts.simulateTrials = std::stoi(need(i, "--simulate"));
+        } else if (arg == "--expected") {
+            opts.expected = need(i, "--expected");
+        } else if (arg == "--report") {
+            opts.report = true;
+        } else if (arg == "--help" || arg == "-h") {
+            opts.help = true;
+        } else {
+            QC_FATAL("unknown argument '", arg, "' (try --help)");
+        }
+    }
+    return opts;
+}
+
+std::string
+readInput(const std::string &path)
+{
+    if (path == "-") {
+        std::ostringstream oss;
+        oss << std::cin.rdbuf();
+        return oss.str();
+    }
+    std::ifstream in(path);
+    if (!in)
+        QC_FATAL("cannot open '", path, "'");
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+int
+runCli(const CliOptions &opts)
+{
+    if (opts.qasmPath.empty())
+        QC_FATAL("--qasm is required (try --help)");
+
+    Circuit prog = parseQasm(readInput(opts.qasmPath), "cli-program");
+
+    GridTopology topo(opts.rows, opts.cols);
+    Calibration cal;
+    if (!opts.calibrationPath.empty()) {
+        cal = loadCalibration(readInput(opts.calibrationPath), topo);
+    } else {
+        CalibrationModel model(topo, opts.seed);
+        cal = model.forDay(opts.day);
+    }
+
+    CompilerOptions copts;
+    copts.mapper = mapperKindFromName(opts.mapper);
+    copts.readoutWeight = opts.omega;
+    copts.smtTimeoutMs = opts.timeoutMs;
+    NoiseAdaptiveCompiler compiler(topo, cal, copts);
+    CompiledProgram compiled = compiler.compile(prog);
+
+    std::string qasm = emitQasm(compiled.hwCircuit(prog.numClbits()));
+    if (opts.outPath.empty()) {
+        std::cout << qasm;
+    } else {
+        std::ofstream out(opts.outPath);
+        if (!out)
+            QC_FATAL("cannot write '", opts.outPath, "'");
+        out << qasm;
+    }
+
+    if (opts.report) {
+        std::cerr << "mapper: " << compiled.mapperName << "\n"
+                  << "layout:";
+        for (size_t p = 0; p < compiled.layout.size(); ++p)
+            std::cerr << " p" << p << "->Q" << compiled.layout[p];
+        std::cerr << "\nswaps: " << compiled.swapCount
+                  << "\nduration: " << compiled.duration
+                  << " timeslots\npredicted success: "
+                  << compiled.predictedSuccess
+                  << "\ncompile time: " << compiled.compileSeconds
+                  << " s\nsolver: "
+                  << (compiled.solverStatus.empty()
+                          ? "n/a"
+                          : compiled.solverStatus)
+                  << "\n";
+    }
+
+    if (opts.simulateTrials > 0) {
+        std::string expected = opts.expected;
+        Machine machine(topo, cal);
+        if (expected.empty()) {
+            expected = idealOutcome(prog);
+            std::cerr << "expected answer (from ideal simulation): "
+                      << expected << "\n";
+        }
+        if (static_cast<int>(expected.size()) != prog.numClbits())
+            QC_FATAL("--expected must have ", prog.numClbits(),
+                     " bits");
+        ExecutionOptions exec;
+        exec.trials = opts.simulateTrials;
+        exec.seed = opts.seed;
+        ExecutionResult res =
+            runNoisy(machine, compiled.schedule, prog.numClbits(),
+                     expected, exec);
+        std::cerr << "success rate: " << res.successRate << " +/- "
+                  << res.halfWidth95 << " over " << res.trials
+                  << " trials\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        CliOptions opts = parseArgs(argc, argv);
+        if (opts.help) {
+            printUsage(std::cout);
+            return 0;
+        }
+        return runCli(opts);
+    } catch (const qc::FatalError &e) {
+        std::cerr << "naqc: " << e.what() << "\n";
+        return 1;
+    }
+}
