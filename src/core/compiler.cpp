@@ -45,11 +45,19 @@ mapperKindFromName(const std::string &name)
 NoiseAdaptiveCompiler::NoiseAdaptiveCompiler(GridTopology topo,
                                              Calibration cal,
                                              CompilerOptions options)
-    : topo_(std::move(topo)),
-      machine_(topo_, std::move(cal)),
-      options_(options),
-      mapper_(makeMapper(machine_, options_))
+    : NoiseAdaptiveCompiler(
+          std::make_shared<const Machine>(std::move(topo),
+                                          std::move(cal)),
+          options)
 {
+}
+
+NoiseAdaptiveCompiler::NoiseAdaptiveCompiler(
+    std::shared_ptr<const Machine> machine, CompilerOptions options)
+    : machine_(std::move(machine)), options_(options)
+{
+    QC_ASSERT(machine_ != nullptr, "compiler needs a machine snapshot");
+    mapper_ = makeMapper(*machine_, options_);
 }
 
 CompiledProgram

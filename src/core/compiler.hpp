@@ -51,8 +51,10 @@ struct CompilerOptions
 /**
  * Noise-adaptive compiler for one machine-day.
  *
- * Owns the topology and calibration snapshot it compiles against;
- * re-create it per calibration cycle (the paper recompiles daily).
+ * Holds the machine snapshot it compiles against as a shared,
+ * immutable view; re-create the compiler per calibration cycle (the
+ * paper recompiles daily), or hand it a snapshot from a
+ * service::MachinePool so many compilers share one precompute.
  */
 class NoiseAdaptiveCompiler
 {
@@ -60,13 +62,24 @@ class NoiseAdaptiveCompiler
     NoiseAdaptiveCompiler(GridTopology topo, Calibration cal,
                           CompilerOptions options = {});
 
+    /** Wrap an existing shared machine snapshot (never null). */
+    explicit NoiseAdaptiveCompiler(std::shared_ptr<const Machine> machine,
+                                   CompilerOptions options = {});
+
     /** Compile a program circuit to a placed, scheduled executable. */
     CompiledProgram compile(const Circuit &prog) const;
 
     /** Compile and emit IBMQ16-ready OpenQASM 2.0 text. */
     std::string compileToQasm(const Circuit &prog) const;
 
-    const Machine &machine() const { return machine_; }
+    const Machine &machine() const { return *machine_; }
+
+    /** The shared snapshot this compiler works against. */
+    const std::shared_ptr<const Machine> &machineSnapshot() const
+    {
+        return machine_;
+    }
+
     const CompilerOptions &options() const { return options_; }
 
     /** Instantiate a mapper for an externally-owned machine. */
@@ -75,8 +88,7 @@ class NoiseAdaptiveCompiler
                                                   &options);
 
   private:
-    GridTopology topo_;
-    Machine machine_;
+    std::shared_ptr<const Machine> machine_;
     CompilerOptions options_;
     std::unique_ptr<Mapper> mapper_;
 };

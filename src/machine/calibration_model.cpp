@@ -9,10 +9,10 @@
 
 namespace qc {
 
-CalibrationModel::CalibrationModel(const GridTopology &topo,
+CalibrationModel::CalibrationModel(GridTopology topo,
                                    std::uint64_t seed,
                                    CalibrationModelParams params)
-    : topo_(topo), seed_(seed), params_(params)
+    : topo_(std::move(topo)), seed_(seed), params_(params)
 {
     const int nq = topo_.numQubits();
     const int ne = topo_.numEdges();

@@ -72,7 +72,7 @@ struct CalibrationModelParams
 class CalibrationModel
 {
   public:
-    CalibrationModel(const GridTopology &topo, std::uint64_t seed,
+    CalibrationModel(GridTopology topo, std::uint64_t seed,
                      CalibrationModelParams params = {});
 
     /** Generate (or recall) the calibration snapshot for a day >= 0. */
@@ -86,7 +86,7 @@ class CalibrationModel
     std::vector<double> driftSeries(const std::string &stream, size_t n,
                                     int day) const;
 
-    const GridTopology &topo_;
+    GridTopology topo_;
     std::uint64_t seed_;
     CalibrationModelParams params_;
 

@@ -9,8 +9,8 @@
 
 namespace qc {
 
-Machine::Machine(const GridTopology &topo, Calibration cal)
-    : topo_(topo), cal_(std::move(cal))
+Machine::Machine(GridTopology topo, Calibration cal)
+    : topo_(std::move(topo)), cal_(std::move(cal))
 {
     cal_.validate(topo_);
 

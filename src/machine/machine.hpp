@@ -52,12 +52,15 @@ struct RoutePath
  * Immutable machine view for one calibration day.
  *
  * Mapper-facing tables are all precomputed in the constructor, so
- * lookups during search are O(1).
+ * lookups during search are O(1). The machine owns its topology and
+ * calibration by value: a Machine (or a shared_ptr<const Machine>
+ * snapshot, see service/machine_pool.hpp) is fully self-contained and
+ * safe to share across threads or outlive its construction context.
  */
 class Machine
 {
   public:
-    Machine(const GridTopology &topo, Calibration cal);
+    Machine(GridTopology topo, Calibration cal);
 
     const GridTopology &topo() const { return topo_; }
     const Calibration &cal() const { return cal_; }
@@ -140,7 +143,7 @@ class Machine
     void buildOneBendPaths();
     void buildDijkstra();
 
-    const GridTopology &topo_;
+    GridTopology topo_;
     Calibration cal_;
     Timeslot uniformCnotDuration_;
 

@@ -1,0 +1,68 @@
+#include "compile_cache.hpp"
+
+namespace qc::service {
+
+CompileCache::CompileCache(std::size_t capacity) : capacity_(capacity)
+{
+}
+
+std::shared_ptr<const CompiledProgram>
+CompileCache::lookup(const CacheKey &key)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+        ++stats_.misses;
+        return nullptr;
+    }
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second); // promote to MRU
+    return it->second->second;
+}
+
+void
+CompileCache::insert(const CacheKey &key,
+                     std::shared_ptr<const CompiledProgram> program)
+{
+    if (capacity_ == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.insertions;
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+        it->second->second = std::move(program);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.emplace_front(key, std::move(program));
+    map_[key] = lru_.begin();
+    if (map_.size() > capacity_) {
+        ++stats_.evictions;
+        map_.erase(lru_.back().first);
+        lru_.pop_back();
+    }
+}
+
+std::size_t
+CompileCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+}
+
+CompileCacheStats
+CompileCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+void
+CompileCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    lru_.clear();
+    map_.clear();
+}
+
+} // namespace qc::service

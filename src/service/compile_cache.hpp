@@ -1,0 +1,117 @@
+/**
+ * @file
+ * LRU cache of compilation results.
+ *
+ * Daily/batch workloads recompile the same program set against the
+ * same calibration snapshot many times (re-runs, shared programs
+ * across users, retry storms). The cache keys results by the content
+ * fingerprints of (circuit, calibration, compiler options), so a hit
+ * is exact: same program, same machine-day, same variant — byte-
+ * identical output to recompiling.
+ */
+
+#ifndef QC_SERVICE_COMPILE_CACHE_HPP
+#define QC_SERVICE_COMPILE_CACHE_HPP
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "mappers/mapper.hpp"
+
+namespace qc::service {
+
+/** Cache key: fingerprints of the three inputs that determine output. */
+struct CacheKey
+{
+    std::uint64_t circuit = 0;
+    std::uint64_t calibration = 0;
+    std::uint64_t options = 0;
+
+    bool
+    operator==(const CacheKey &o) const
+    {
+        return circuit == o.circuit && calibration == o.calibration &&
+               options == o.options;
+    }
+};
+
+struct CacheKeyHash
+{
+    std::size_t
+    operator()(const CacheKey &k) const
+    {
+        // The fields are already FNV digests; a cheap combine is fine.
+        std::uint64_t h = k.circuit;
+        h ^= k.calibration + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        h ^= k.options + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+        return static_cast<std::size_t>(h);
+    }
+};
+
+/** Counters exposed by CompileCache::stats(). */
+struct CompileCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t insertions = 0;
+
+    std::uint64_t lookups() const { return hits + misses; }
+
+    /** hits / lookups, 0 when no lookups happened. */
+    double
+    hitRate() const
+    {
+        return lookups() == 0
+                   ? 0.0
+                   : static_cast<double>(hits) /
+                         static_cast<double>(lookups());
+    }
+};
+
+/**
+ * Thread-safe LRU map: CacheKey -> shared immutable CompiledProgram.
+ *
+ * Capacity counts entries (CompiledPrograms are small — layout,
+ * schedule, predictions — compared to the Machines the pool holds).
+ * Capacity 0 disables caching entirely: lookups miss, inserts drop.
+ */
+class CompileCache
+{
+  public:
+    explicit CompileCache(std::size_t capacity = 1024);
+
+    /** Fetch and promote to most-recently-used; null on miss. */
+    std::shared_ptr<const CompiledProgram> lookup(const CacheKey &key);
+
+    /**
+     * Insert (or refresh) an entry, evicting the least recently used
+     * entry when over capacity.
+     */
+    void insert(const CacheKey &key,
+                std::shared_ptr<const CompiledProgram> program);
+
+    std::size_t size() const;
+    std::size_t capacity() const { return capacity_; }
+    CompileCacheStats stats() const;
+    void clear();
+
+  private:
+    using LruList =
+        std::list<std::pair<CacheKey,
+                            std::shared_ptr<const CompiledProgram>>>;
+
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    LruList lru_; ///< front = most recently used
+    std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> map_;
+    CompileCacheStats stats_;
+};
+
+} // namespace qc::service
+
+#endif // QC_SERVICE_COMPILE_CACHE_HPP

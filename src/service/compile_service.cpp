@@ -1,0 +1,175 @@
+#include "compile_service.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "service/fingerprints.hpp"
+#include "support/logging.hpp"
+
+namespace qc::service {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+CompileService::CompileService(ServiceOptions options)
+    : options_(options),
+      machines_(options.machinePoolCapacity),
+      cache_(options.cacheCapacity),
+      pool_(options.threads)
+{
+}
+
+std::future<CompileResult>
+CompileService::submit(CompileRequest request)
+{
+    return pool_.submit(
+        [this, request = std::move(request)]() mutable {
+            return runJob(request);
+        });
+}
+
+CompileResult
+CompileService::runJob(const CompileRequest &request)
+{
+    const auto start = std::chrono::steady_clock::now();
+    CompileResult result;
+    result.tag = request.tag;
+    result.day = request.day;
+
+    CacheKey key;
+    key.circuit = fingerprintCircuit(request.circuit);
+    key.calibration = machineKey(request.topo, request.cal);
+    key.options = fingerprintOptions(request.options);
+
+    try {
+        if (auto cached = cache_.lookup(key)) {
+            result.ok = true;
+            result.cacheHit = true;
+            result.program = std::move(cached);
+            // Only attach a snapshot that's still pooled: a cache
+            // hit must never pay for a Machine rebuild.
+            result.machine =
+                machines_.tryAcquire(request.topo, request.cal);
+            result.seconds = secondsSince(start);
+            return result;
+        }
+
+        result.machine = machines_.acquire(request.topo, request.cal);
+        NoiseAdaptiveCompiler compiler(result.machine,
+                                       request.options);
+        auto program = std::make_shared<const CompiledProgram>(
+            compiler.compile(request.circuit));
+        cache_.insert(key, program);
+        result.program = std::move(program);
+        result.ok = true;
+    } catch (const std::exception &e) {
+        // FatalError, z3 errors, bad_alloc, ... — a failing job must
+        // never poison the batch or escape the future contract.
+        result.ok = false;
+        result.error = e.what();
+        result.program = nullptr;
+        result.machine = nullptr;
+    } catch (...) {
+        result.ok = false;
+        result.error = "unknown exception during compilation";
+        result.program = nullptr;
+        result.machine = nullptr;
+    }
+    result.seconds = secondsSince(start);
+    return result;
+}
+
+BatchResult
+CompileService::compileBatch(std::vector<CompileRequest> requests)
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    std::vector<std::future<CompileResult>> futures;
+    futures.reserve(requests.size());
+    for (CompileRequest &request : requests)
+        futures.push_back(submit(std::move(request)));
+
+    BatchResult batch;
+    batch.results.reserve(futures.size());
+    for (std::future<CompileResult> &f : futures)
+        batch.results.push_back(f.get());
+
+    batch.report = makeReport(batch.results, secondsSince(start));
+    return batch;
+}
+
+std::vector<CompileRequest>
+CompileService::dailyBatch(
+    const CalibrationModel &model,
+    const std::vector<std::pair<std::string, Circuit>> &programs,
+    int firstDay, int numDays, const CompilerOptions &options)
+{
+    QC_ASSERT(numDays >= 0, "negative day count");
+    std::vector<CompileRequest> requests;
+    requests.reserve(programs.size() *
+                     static_cast<std::size_t>(numDays));
+    for (int day = firstDay; day < firstDay + numDays; ++day) {
+        Calibration cal = model.forDay(day);
+        for (const auto &[name, circuit] : programs) {
+            CompileRequest req;
+            req.tag = name + "@d" + std::to_string(day);
+            req.day = day;
+            req.circuit = circuit;
+            req.topo = model.topology();
+            req.cal = cal;
+            req.options = options;
+            requests.push_back(std::move(req));
+        }
+    }
+    return requests;
+}
+
+ServiceReport
+CompileService::makeReport(const std::vector<CompileResult> &results,
+                           double wall_seconds) const
+{
+    ServiceReport report;
+    report.jobs = static_cast<int>(results.size());
+    for (const CompileResult &r : results) {
+        if (r.ok)
+            ++report.succeeded;
+        else
+            ++report.failed;
+        if (r.cacheHit)
+            ++report.cacheHits;
+        report.jobSeconds += r.seconds;
+    }
+    report.wallSeconds = wall_seconds;
+    report.machinePool = machines_.stats();
+    report.cache = cache_.stats();
+    return report;
+}
+
+std::string
+ServiceReport::toString() const
+{
+    std::ostringstream oss;
+    oss << "jobs: " << jobs << " (" << succeeded << " ok, " << failed
+        << " failed, " << cacheHits << " cache hits)\n"
+        << "wall time: " << wallSeconds << " s (" << throughput()
+        << " jobs/s; " << jobSeconds << " s of job time)\n"
+        << "machine pool: " << machinePool.builds << " builds, "
+        << machinePool.hits << " hits, " << machinePool.evictions
+        << " evictions\n"
+        << "compile cache: " << cache.hits << "/" << cache.lookups()
+        << " hits (rate " << cache.hitRate() << "), "
+        << cache.evictions << " evictions\n";
+    return oss.str();
+}
+
+} // namespace qc::service

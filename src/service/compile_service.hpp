@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Concurrent compilation service for batch/daily workloads.
+ *
+ * The paper's operational model (Sec. 2, Fig. 6) recompiles every
+ * program against each fresh calibration snapshot — at production
+ * scale, thousands of independent (circuit x calibration-day) jobs
+ * per cycle. This service turns the one-shot NoiseAdaptiveCompiler
+ * facade into that batch engine:
+ *
+ *   - a ThreadPool executes jobs concurrently,
+ *   - a MachinePool builds each machine-day snapshot once and shares
+ *     it across all jobs of that day,
+ *   - a CompileCache returns previously compiled results for exact
+ *     (circuit, calibration, options) repeats.
+ *
+ * Every mapper is deterministic, so a batch compiled with N workers
+ * is bit-identical to the same batch compiled serially — the
+ * test suite asserts this.
+ */
+
+#ifndef QC_SERVICE_COMPILE_SERVICE_HPP
+#define QC_SERVICE_COMPILE_SERVICE_HPP
+
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "ir/circuit.hpp"
+#include "machine/calibration_model.hpp"
+#include "service/compile_cache.hpp"
+#include "service/machine_pool.hpp"
+#include "service/thread_pool.hpp"
+
+namespace qc::service {
+
+/** Service-wide configuration. */
+struct ServiceOptions
+{
+    int threads = 0;                ///< workers; <= 0 = hardware
+    std::size_t cacheCapacity = 4096; ///< compile-cache entries; 0 off
+    std::size_t machinePoolCapacity = 64; ///< LRU snapshots; 0 = unbounded
+};
+
+/** One compilation job: a program against one machine-day. */
+struct CompileRequest
+{
+    std::string tag;        ///< caller's label, echoed in the result
+    int day = 0;            ///< calibration day (reports only)
+    Circuit circuit;
+    GridTopology topo = GridTopology::ibmq16();
+    Calibration cal;
+    CompilerOptions options;
+};
+
+/** Outcome of one job. */
+struct CompileResult
+{
+    std::string tag;
+    int day = 0;
+    bool ok = false;
+    bool cacheHit = false;
+    std::string error;     ///< FatalError text when !ok
+
+    /** The compiled artifact (shared with the cache); null on error. */
+    std::shared_ptr<const CompiledProgram> program;
+
+    /**
+     * The machine snapshot the job compiled against. Null on error;
+     * may also be null for a cache hit whose snapshot was LRU-evicted
+     * from the machine pool (hits never pay for a rebuild).
+     */
+    std::shared_ptr<const Machine> machine;
+
+    double seconds = 0.0;  ///< job wall time (cache hits ~0)
+};
+
+/** Aggregate accounting for one batch (or a whole service lifetime). */
+struct ServiceReport
+{
+    int jobs = 0;
+    int succeeded = 0;
+    int failed = 0;
+    int cacheHits = 0;
+
+    double wallSeconds = 0.0;    ///< batch wall-clock time
+    double jobSeconds = 0.0;     ///< sum of per-job times
+    double meanJobSeconds() const
+    {
+        return jobs == 0 ? 0.0 : jobSeconds / jobs;
+    }
+    /** Jobs per wall-clock second. */
+    double throughput() const
+    {
+        return wallSeconds <= 0.0 ? 0.0 : jobs / wallSeconds;
+    }
+
+    MachinePoolStats machinePool;
+    CompileCacheStats cache;
+
+    /** Multi-line human-readable summary. */
+    std::string toString() const;
+};
+
+/** A batch's results plus its aggregate report. */
+struct BatchResult
+{
+    std::vector<CompileResult> results; ///< in request order
+    ServiceReport report;
+};
+
+/**
+ * The compilation service.
+ *
+ * Thread-safe: submit()/compileBatch() may be called from any thread.
+ * The machine pool and compile cache persist across batches, so a
+ * second identical batch is served almost entirely from cache.
+ */
+class CompileService
+{
+  public:
+    explicit CompileService(ServiceOptions options = {});
+
+    /** Worker count actually in use. */
+    int numThreads() const { return pool_.numThreads(); }
+
+    /** Enqueue one job; the future never throws (errors go in .ok). */
+    std::future<CompileResult> submit(CompileRequest request);
+
+    /**
+     * Compile a whole batch, blocking until every job finishes.
+     * Results come back in request order with a batch report.
+     */
+    BatchResult compileBatch(std::vector<CompileRequest> requests);
+
+    /**
+     * Build the daily-recompilation workload: every program compiled
+     * against each of days [firstDay, firstDay + numDays). Tags are
+     * "<name>@d<day>".
+     */
+    static std::vector<CompileRequest>
+    dailyBatch(const CalibrationModel &model,
+               const std::vector<std::pair<std::string, Circuit>>
+                   &programs,
+               int firstDay, int numDays,
+               const CompilerOptions &options);
+
+    MachinePoolStats machinePoolStats() const
+    {
+        return machines_.stats();
+    }
+    CompileCacheStats cacheStats() const { return cache_.stats(); }
+
+    /** Report over arbitrary results (adds current pool/cache stats). */
+    ServiceReport makeReport(const std::vector<CompileResult> &results,
+                             double wall_seconds) const;
+
+  private:
+    CompileResult runJob(const CompileRequest &request);
+
+    ServiceOptions options_;
+    MachinePool machines_;
+    CompileCache cache_;
+    ThreadPool pool_; ///< last member: workers die before state above
+};
+
+} // namespace qc::service
+
+#endif // QC_SERVICE_COMPILE_SERVICE_HPP

@@ -1,0 +1,72 @@
+#include "fingerprints.hpp"
+
+#include "support/fingerprint.hpp"
+
+namespace qc::service {
+
+std::uint64_t
+fingerprintCircuit(const Circuit &circuit)
+{
+    Fingerprint fp;
+    fp.mix(std::uint64_t{0xC14C}); // domain tag
+    fp.mix(circuit.numQubits()).mix(circuit.numClbits());
+    fp.mix(static_cast<std::uint64_t>(circuit.size()));
+    for (const Gate &g : circuit.gates()) {
+        fp.mix(static_cast<int>(g.op))
+            .mix(g.q0)
+            .mix(g.q1)
+            .mix(g.cbit);
+    }
+    return fp.value();
+}
+
+std::uint64_t
+fingerprintTopology(const GridTopology &topo)
+{
+    Fingerprint fp;
+    fp.mix(std::uint64_t{0x7090}); // domain tag
+    fp.mix(topo.rows()).mix(topo.cols());
+    return fp.value();
+}
+
+std::uint64_t
+fingerprintCalibration(const Calibration &cal)
+{
+    Fingerprint fp;
+    fp.mix(std::uint64_t{0xCA11}); // domain tag
+    fp.mix(cal.day);
+    fp.mixVector(cal.t1Us)
+        .mixVector(cal.t2Us)
+        .mixVector(cal.readoutError)
+        .mixVector(cal.cnotError);
+    fp.mix(static_cast<std::uint64_t>(cal.cnotDuration.size()));
+    for (Timeslot d : cal.cnotDuration)
+        fp.mix(static_cast<std::int64_t>(d));
+    fp.mix(cal.oneQubitError)
+        .mix(static_cast<std::int64_t>(cal.oneQubitDuration))
+        .mix(static_cast<std::int64_t>(cal.readoutDuration));
+    return fp.value();
+}
+
+std::uint64_t
+fingerprintOptions(const CompilerOptions &options)
+{
+    Fingerprint fp;
+    fp.mix(std::uint64_t{0x0975}); // domain tag
+    fp.mix(static_cast<int>(options.mapper))
+        .mix(static_cast<int>(options.policy))
+        .mix(options.readoutWeight)
+        .mix(static_cast<std::uint64_t>(options.smtTimeoutMs))
+        .mix(options.jointScheduling);
+    return fp.value();
+}
+
+std::uint64_t
+machineKey(const GridTopology &topo, const Calibration &cal)
+{
+    Fingerprint fp;
+    fp.mix(fingerprintTopology(topo)).mix(fingerprintCalibration(cal));
+    return fp.value();
+}
+
+} // namespace qc::service

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Content fingerprints for the domain objects the compile service
+ * keys on: circuits, topologies, calibration snapshots and compiler
+ * options. Built on the generic support/fingerprint.hpp hasher.
+ *
+ * Two objects with equal fingerprints are treated as identical by the
+ * machine-snapshot pool and the compile cache, so every semantically
+ * meaningful field must be mixed in here.
+ */
+
+#ifndef QC_SERVICE_FINGERPRINTS_HPP
+#define QC_SERVICE_FINGERPRINTS_HPP
+
+#include <cstdint>
+
+#include "core/compiler.hpp"
+#include "ir/circuit.hpp"
+#include "machine/calibration.hpp"
+#include "machine/topology.hpp"
+
+namespace qc::service {
+
+/** Gate-exact circuit fingerprint (name excluded: content only). */
+std::uint64_t fingerprintCircuit(const Circuit &circuit);
+
+/** Grid-shape fingerprint. */
+std::uint64_t fingerprintTopology(const GridTopology &topo);
+
+/** Full calibration-snapshot fingerprint (all per-element data). */
+std::uint64_t fingerprintCalibration(const Calibration &cal);
+
+/** Compiler-options fingerprint (every field that steers mapping). */
+std::uint64_t fingerprintOptions(const CompilerOptions &options);
+
+/** Combined (topology, calibration) key for the machine pool. */
+std::uint64_t machineKey(const GridTopology &topo,
+                         const Calibration &cal);
+
+} // namespace qc::service
+
+#endif // QC_SERVICE_FINGERPRINTS_HPP

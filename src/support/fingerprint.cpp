@@ -1,0 +1,47 @@
+#include "fingerprint.hpp"
+
+namespace qc {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+} // namespace
+
+Fingerprint &
+Fingerprint::mixBytes(const void *data, std::size_t n)
+{
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        state_ ^= bytes[i];
+        state_ *= kFnvPrime;
+    }
+    return *this;
+}
+
+Fingerprint &
+Fingerprint::mix(std::uint64_t v)
+{
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i)
+        bytes[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xff);
+    return mixBytes(bytes, sizeof(bytes));
+}
+
+Fingerprint &
+Fingerprint::mix(double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    return mix(bits);
+}
+
+Fingerprint &
+Fingerprint::mix(const std::string &s)
+{
+    mix(static_cast<std::uint64_t>(s.size()));
+    return mixBytes(s.data(), s.size());
+}
+
+} // namespace qc

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Order-sensitive 64-bit fingerprinting (FNV-1a) for cache keys.
+ *
+ * The compile service keys its machine-snapshot pool and result cache
+ * by content fingerprints of circuits, calibration snapshots and
+ * compiler options. Fingerprints are deterministic across runs and
+ * platforms (fixed-width little-endian mixing), so cache keys are
+ * stable for persisted or distributed caches later.
+ *
+ * Not cryptographic: collisions are astronomically unlikely for the
+ * workloads here but an adversary could construct them.
+ */
+
+#ifndef QC_SUPPORT_FINGERPRINT_HPP
+#define QC_SUPPORT_FINGERPRINT_HPP
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace qc {
+
+/**
+ * Incremental FNV-1a hasher.
+ *
+ * @code
+ *   Fingerprint fp;
+ *   fp.mix(circuit.numQubits()).mix(circuit.name());
+ *   std::uint64_t key = fp.value();
+ * @endcode
+ */
+class Fingerprint
+{
+  public:
+    /** Mix raw bytes, one FNV-1a step per byte. */
+    Fingerprint &mixBytes(const void *data, std::size_t n);
+
+    /** Mix a 64-bit value (little-endian byte order). */
+    Fingerprint &mix(std::uint64_t v);
+
+    Fingerprint &mix(std::int64_t v)
+    {
+        return mix(static_cast<std::uint64_t>(v));
+    }
+
+    Fingerprint &mix(int v)
+    {
+        return mix(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(v)));
+    }
+
+    Fingerprint &mix(bool v) { return mix(std::uint64_t{v ? 1u : 0u}); }
+
+    /** Mix a double by bit pattern (distinguishes -0.0 from +0.0). */
+    Fingerprint &mix(double v);
+
+    /** Mix a string, length-prefixed so "ab","c" != "a","bc". */
+    Fingerprint &mix(const std::string &s);
+
+    /** Mix a numeric vector, length-prefixed. */
+    template <typename T>
+    Fingerprint &
+    mixVector(const std::vector<T> &v)
+    {
+        mix(static_cast<std::uint64_t>(v.size()));
+        for (const T &x : v)
+            mix(x);
+        return *this;
+    }
+
+    /** The current digest. */
+    std::uint64_t value() const { return state_; }
+
+  private:
+    // FNV-1a 64-bit offset basis.
+    std::uint64_t state_ = 14695981039346656037ull;
+};
+
+} // namespace qc
+
+#endif // QC_SUPPORT_FINGERPRINT_HPP

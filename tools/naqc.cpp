@@ -7,10 +7,17 @@
  * user-provided calibration data, and writes IBMQ16-ready OpenQASM.
  * Optionally Monte-Carlo-simulates the compiled program.
  *
+ * With --jobs (and/or --days), naqc switches to batch mode: every
+ * --qasm program (the flag repeats) is compiled against each of the
+ * requested calibration days on a concurrent compile service, and a
+ * per-job table plus service report is printed instead of QASM.
+ *
  * Examples:
  *   naqc --qasm prog.qasm --mapper 'R-SMT*' --out compiled.qasm
  *   naqc --qasm prog.qasm --calibration today.cal --report
  *   naqc --qasm prog.qasm --simulate 4096 --expected 1110
+ *   naqc --qasm a.qasm --qasm b.qasm --days 30 --jobs 8 \
+ *        --mapper 'GreedyE*'
  */
 
 #include <fstream>
@@ -20,8 +27,10 @@
 
 #include "core/compiler.hpp"
 #include "machine/calibration_io.hpp"
+#include "service/compile_service.hpp"
 #include "sim/executor.hpp"
 #include "support/logging.hpp"
+#include "support/table.hpp"
 
 namespace {
 
@@ -29,7 +38,7 @@ using namespace qc;
 
 struct CliOptions
 {
-    std::string qasmPath;
+    std::vector<std::string> qasmPaths;
     std::string outPath;
     std::string calibrationPath;
     std::string mapper = "R-SMT*";
@@ -37,12 +46,16 @@ struct CliOptions
     int rows = 2;
     int cols = 8;
     int day = 0;
+    int days = 1;
+    int jobs = 0;  ///< >0 switches to batch/service mode
     std::uint64_t seed = 20190131;
     double omega = 0.5;
     unsigned timeoutMs = 60'000;
     int simulateTrials = 0;
     bool report = false;
     bool help = false;
+
+    bool batchMode() const { return jobs > 0 || days > 1; }
 };
 
 void
@@ -50,7 +63,7 @@ printUsage(std::ostream &os)
 {
     os << "usage: naqc --qasm FILE [options]\n"
           "  --qasm FILE          input OpenQASM 2.0 program ('-' for "
-          "stdin)\n"
+          "stdin; repeatable)\n"
           "  --out FILE           write compiled OpenQASM here "
           "(default: stdout)\n"
           "  --mapper NAME        Qiskit | T-SMT | T-SMT* | R-SMT* | "
@@ -65,6 +78,10 @@ printUsage(std::ostream &os)
           "(default 0.5)\n"
           "  --timeout MS         SMT budget in milliseconds (default "
           "60000)\n"
+          "  --days D             batch: compile against D days "
+          "starting at --day\n"
+          "  --jobs N             batch: run on a compile service "
+          "with N workers\n"
           "  --simulate N         Monte-Carlo N trials on the noisy "
           "simulator\n"
           "  --expected BITS      correct answer for --simulate "
@@ -86,7 +103,7 @@ parseArgs(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--qasm") {
-            opts.qasmPath = need(i, "--qasm");
+            opts.qasmPaths.push_back(need(i, "--qasm"));
         } else if (arg == "--out") {
             opts.outPath = need(i, "--out");
         } else if (arg == "--mapper") {
@@ -101,6 +118,12 @@ parseArgs(int argc, char **argv)
             opts.seed = std::stoull(need(i, "--seed"));
         } else if (arg == "--day") {
             opts.day = std::stoi(need(i, "--day"));
+        } else if (arg == "--days") {
+            opts.days = std::stoi(need(i, "--days"));
+        } else if (arg == "--jobs") {
+            opts.jobs = std::stoi(need(i, "--jobs"));
+            if (opts.jobs < 1)
+                QC_FATAL("--jobs must be >= 1");
         } else if (arg == "--omega") {
             opts.omega = std::stod(need(i, "--omega"));
         } else if (arg == "--timeout") {
@@ -137,13 +160,82 @@ readInput(const std::string &path)
     return oss.str();
 }
 
+/** Batch mode: every program x every day on the compile service. */
+int
+runBatch(const CliOptions &opts)
+{
+    if (!opts.calibrationPath.empty())
+        QC_FATAL("batch mode uses the synthetic calibration stream; "
+                 "--calibration only works for single compiles");
+    if (!opts.outPath.empty())
+        QC_FATAL("batch mode prints a report; --out only works for "
+                 "single compiles");
+    if (opts.simulateTrials > 0 || !opts.expected.empty())
+        QC_FATAL("--simulate/--expected only work for single "
+                 "compiles, not batch mode");
+    if (opts.report)
+        QC_FATAL("batch mode always prints its report; --report only "
+                 "applies to single compiles");
+    if (opts.days < 1)
+        QC_FATAL("--days must be >= 1");
+
+    GridTopology topo(opts.rows, opts.cols);
+    CalibrationModel model(topo, opts.seed);
+
+    CompilerOptions copts;
+    copts.mapper = mapperKindFromName(opts.mapper);
+    copts.readoutWeight = opts.omega;
+    copts.smtTimeoutMs = opts.timeoutMs;
+
+    std::vector<std::pair<std::string, Circuit>> programs;
+    for (const std::string &path : opts.qasmPaths) {
+        std::string name =
+            path == "-" ? std::string("stdin") : path;
+        programs.emplace_back(name,
+                              parseQasm(readInput(path), name));
+    }
+
+    service::ServiceOptions sopts;
+    sopts.threads = opts.jobs > 0 ? opts.jobs : 1;
+    service::CompileService svc(sopts);
+    service::BatchResult batch =
+        svc.compileBatch(service::CompileService::dailyBatch(
+            model, programs, opts.day, opts.days, copts));
+
+    Table t({"job", "day", "status", "swaps", "duration",
+             "pred. success", "seconds"});
+    for (const auto &r : batch.results) {
+        t.addRow({r.tag, Table::fmt(static_cast<long long>(r.day)),
+                  r.ok ? (r.cacheHit ? "cached" : "ok") : "FAILED",
+                  r.ok ? Table::fmt(static_cast<long long>(
+                             r.program->swapCount))
+                       : "-",
+                  r.ok ? Table::fmt(static_cast<long long>(
+                             r.program->duration))
+                       : "-",
+                  r.ok ? Table::fmt(r.program->predictedSuccess)
+                       : r.error,
+                  Table::fmt(r.seconds)});
+    }
+    t.print(std::cout);
+    std::cout << "\n" << batch.report.toString();
+    return batch.report.failed == 0 ? 0 : 1;
+}
+
 int
 runCli(const CliOptions &opts)
 {
-    if (opts.qasmPath.empty())
+    if (opts.qasmPaths.empty())
         QC_FATAL("--qasm is required (try --help)");
 
-    Circuit prog = parseQasm(readInput(opts.qasmPath), "cli-program");
+    if (opts.batchMode())
+        return runBatch(opts);
+    if (opts.qasmPaths.size() > 1)
+        QC_FATAL("multiple --qasm inputs need batch mode "
+                 "(add --jobs N or --days D)");
+
+    Circuit prog = parseQasm(readInput(opts.qasmPaths[0]),
+                             "cli-program");
 
     GridTopology topo(opts.rows, opts.cols);
     Calibration cal;
