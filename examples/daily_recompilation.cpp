@@ -54,7 +54,7 @@ main()
         std::cerr << "compilation failures:\n";
         for (const auto &r : batch.results)
             if (!r.ok)
-                std::cerr << "  " << r.tag << ": " << r.error << "\n";
+                std::cerr << "  " << r.tag << ": " << r.error() << "\n";
         return 1;
     }
 

@@ -2,9 +2,14 @@
  * @file
  * Public entry point: the noise-adaptive compiler facade.
  *
- * Wraps machine construction (topology + calibration), mapper
- * selection (Table 1's variants), compilation, and OpenQASM emission
- * behind one object — the API a downstream user programs against.
+ * Wraps machine construction (topology + calibration), the Table 1
+ * pass bundles, compilation, and OpenQASM emission behind one object.
+ * Since the pass-pipeline redesign this is a thin shim over
+ * core/pipeline.hpp: standardPipeline() maps each MapperKind to its
+ * placement/routing/scheduling/prediction bundle, and
+ * NoiseAdaptiveCompiler::compile runs it with the legacy throwing
+ * contract. Use the Pipeline API directly for structured status,
+ * per-stage traces, or custom pass combinations.
  */
 
 #ifndef QC_CORE_COMPILER_HPP
@@ -13,6 +18,7 @@
 #include <memory>
 #include <string>
 
+#include "core/pipeline.hpp"
 #include "ir/circuit.hpp"
 #include "ir/qasm.hpp"
 #include "machine/calibration_model.hpp"
@@ -33,9 +39,23 @@ enum class MapperKind {
     GreedyETrack, ///< GreedyE* placement + live-tracking routing
 };
 
+/** Every MapperKind, in Table 1 order (iteration helper). */
+inline constexpr MapperKind kAllMapperKinds[] = {
+    MapperKind::Qiskit,       MapperKind::TSmt,
+    MapperKind::TSmtStar,     MapperKind::RSmtStar,
+    MapperKind::GreedyV,      MapperKind::GreedyE,
+    MapperKind::GreedyETrack,
+};
+
 const char *mapperKindName(MapperKind k);
 
-/** Parse a variant name ("R-SMT*", "GreedyE*", ...); throws on error. */
+/**
+ * Parse a variant name. Matching is case-insensitive and ignores
+ * '-', '_', '+' and spaces, so "R-SMT*", "rsmt*" and "r smt*" all
+ * work; common aliases ("r-smt" for R-SMT*, "greedye" for GreedyE*,
+ * "track" for GreedyE*+track) are accepted too. Throws FatalError
+ * naming the offending input and the full valid list.
+ */
 MapperKind mapperKindFromName(const std::string &name);
 
 /** Top-level compiler configuration. */
@@ -47,6 +67,16 @@ struct CompilerOptions
     unsigned smtTimeoutMs = 60'000;
     bool jointScheduling = true;  ///< full SMT formulation
 };
+
+/**
+ * The Table 1 bundle for `options.mapper` as a pass pipeline:
+ * placement (Qiskit baseline / GreedyV* / GreedyE* / SMT variants),
+ * route selection, scheduling (list or live-tracking) and
+ * reliability prediction, producing bit-identical CompiledPrograms
+ * to the legacy monolithic mappers.
+ */
+Pipeline standardPipeline(std::shared_ptr<const Machine> machine,
+                          const CompilerOptions &options);
 
 /**
  * Noise-adaptive compiler for one machine-day.
@@ -66,8 +96,19 @@ class NoiseAdaptiveCompiler
     explicit NoiseAdaptiveCompiler(std::shared_ptr<const Machine> machine,
                                    CompilerOptions options = {});
 
-    /** Compile a program circuit to a placed, scheduled executable. */
+    /**
+     * Compile a program circuit to a placed, scheduled executable.
+     * Throws FatalError when no program can be produced (the legacy
+     * contract); prefer compileWithStatus for structured errors.
+     */
     CompiledProgram compile(const Circuit &prog) const;
+
+    /**
+     * Compile with the structured status/trace channel: infeasible
+     * inputs and solver timeouts come back as CompileStatus values
+     * with per-stage traces instead of exceptions.
+     */
+    PipelineResult compileWithStatus(const Circuit &prog) const;
 
     /** Compile and emit IBMQ16-ready OpenQASM 2.0 text. */
     std::string compileToQasm(const Circuit &prog) const;
@@ -82,7 +123,14 @@ class NoiseAdaptiveCompiler
 
     const CompilerOptions &options() const { return options_; }
 
-    /** Instantiate a mapper for an externally-owned machine. */
+    /** The pass pipeline this facade runs. */
+    const Pipeline &pipeline() const { return pipeline_; }
+
+    /**
+     * Instantiate a legacy monolithic mapper for an externally-owned
+     * machine. Kept as the pre-pipeline reference implementation
+     * (bench harnesses and the pipeline-equivalence test use it).
+     */
     static std::unique_ptr<Mapper> makeMapper(const Machine &machine,
                                               const CompilerOptions
                                                   &options);
@@ -90,7 +138,7 @@ class NoiseAdaptiveCompiler
   private:
     std::shared_ptr<const Machine> machine_;
     CompilerOptions options_;
-    std::unique_ptr<Mapper> mapper_;
+    Pipeline pipeline_;
 };
 
 } // namespace qc

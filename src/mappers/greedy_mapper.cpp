@@ -15,17 +15,6 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-/** Scheduler setup shared by both heuristics ("Best Path" routing). */
-SchedulerOptions
-greedySchedulerOptions()
-{
-    SchedulerOptions opts;
-    opts.policy = RoutingPolicy::OneBendPath;
-    opts.select = RouteSelect::Dijkstra;
-    opts.calibratedDurations = true;
-    return opts;
-}
-
 /** Best-readout free hardware qubit (for isolated program qubits). */
 HwQubit
 bestFreeReadout(const Machine &machine, const std::vector<bool> &used)
@@ -45,6 +34,16 @@ bestFreeReadout(const Machine &machine, const std::vector<bool> &used)
 }
 
 } // namespace
+
+SchedulerOptions
+greedySchedulerOptions()
+{
+    SchedulerOptions opts;
+    opts.policy = RoutingPolicy::OneBendPath;
+    opts.select = RouteSelect::Dijkstra;
+    opts.calibratedDurations = true;
+    return opts;
+}
 
 HwQubit
 bestAttachedLocation(
@@ -72,10 +71,9 @@ bestAttachedLocation(
     return best;
 }
 
-CompiledProgram
-GreedyVMapper::compile(const Circuit &prog)
+std::vector<HwQubit>
+greedyVertexPlacement(const Machine &machine_, const Circuit &prog)
 {
-    auto t0 = Clock::now();
     const int n_prog = prog.numQubits();
     const int n_hw = machine_.numQubits();
     if (n_prog > n_hw)
@@ -152,8 +150,16 @@ GreedyVMapper::compile(const Circuit &prog)
         ++placed_count;
     }
 
+    return layout;
+}
+
+CompiledProgram
+GreedyVMapper::compile(const Circuit &prog)
+{
+    auto t0 = Clock::now();
     CompiledProgram out =
-        finalize(prog, std::move(layout), greedySchedulerOptions());
+        finalize(prog, greedyVertexPlacement(machine_, prog),
+                 greedySchedulerOptions());
     out.mapperName = name();
     out.compileSeconds =
         std::chrono::duration<double>(Clock::now() - t0).count();

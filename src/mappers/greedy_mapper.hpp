@@ -81,10 +81,22 @@ HwQubit bestAttachedLocation(const Machine &machine,
 /**
  * GreedyE*'s placement pass alone: heaviest-edge-first placement of
  * the program interaction graph onto the machine (Sec. 5.2). Shared
- * by GreedyEMapper and GreedyETrackMapper.
+ * by GreedyEMapper, GreedyETrackMapper and the pipeline's
+ * greedy-edge placement pass.
  */
 std::vector<HwQubit> greedyEdgePlacement(const Machine &machine,
                                          const Circuit &prog);
+
+/**
+ * GreedyV*'s placement pass alone: descending CNOT-degree placement
+ * of program qubits (Sec. 5.1). Shared by GreedyVMapper and the
+ * pipeline's greedy-vertex placement pass.
+ */
+std::vector<HwQubit> greedyVertexPlacement(const Machine &machine,
+                                           const Circuit &prog);
+
+/** Scheduler setup shared by the greedy heuristics ("Best Path"). */
+SchedulerOptions greedySchedulerOptions();
 
 } // namespace qc
 

@@ -12,6 +12,26 @@ CompiledProgram::hwCircuit(int n_clbits) const
     return schedule.toHwCircuit(programName + "." + mapperName, n_clbits);
 }
 
+double
+predictLogReliability(const Machine &machine, const Circuit &prog,
+                      const std::vector<HwQubit> &layout,
+                      const ListScheduler &scheduler)
+{
+    double log_rel = 0.0;
+    for (size_t i = 0; i < prog.size(); ++i) {
+        const Gate &g = prog.gate(i);
+        if (g.op == Op::CNOT) {
+            RoutePath r = scheduler.chooseRoute(
+                layout[g.q0], layout[g.q1], static_cast<int>(i));
+            log_rel += std::log(r.reliability);
+        } else if (g.isMeasure()) {
+            log_rel += std::log(
+                machine.cal().readoutReliability(layout[g.q0]));
+        }
+    }
+    return log_rel;
+}
+
 CompiledProgram
 Mapper::finalize(const Circuit &prog, std::vector<HwQubit> layout,
                  const SchedulerOptions &sched_options) const
@@ -26,24 +46,9 @@ Mapper::finalize(const Circuit &prog, std::vector<HwQubit> layout,
     out.schedule = scheduler.run(prog, out.layout);
     out.duration = out.schedule.makespan;
     out.swapCount = out.schedule.swapCount();
-
-    // Predicted reliability, Eq. 12 style but unweighted: the product
-    // of readout reliabilities and routed-CNOT EC values, using the
-    // exact routes the scheduler chose.
-    double log_rel = 0.0;
-    for (size_t i = 0; i < prog.size(); ++i) {
-        const Gate &g = prog.gate(i);
-        if (g.op == Op::CNOT) {
-            RoutePath r = scheduler.chooseRoute(
-                out.layout[g.q0], out.layout[g.q1], static_cast<int>(i));
-            log_rel += std::log(r.reliability);
-        } else if (g.isMeasure()) {
-            log_rel += std::log(
-                machine_.cal().readoutReliability(out.layout[g.q0]));
-        }
-    }
-    out.logReliability = log_rel;
-    out.predictedSuccess = std::exp(log_rel);
+    out.logReliability =
+        predictLogReliability(machine_, prog, out.layout, scheduler);
+    out.predictedSuccess = std::exp(out.logReliability);
     return out;
 }
 

@@ -15,6 +15,7 @@
 #include "machine/machine.hpp"
 #include "sched/list_scheduler.hpp"
 #include "sched/schedule.hpp"
+#include "support/status.hpp"
 
 namespace qc {
 
@@ -40,9 +41,28 @@ struct CompiledProgram
     bool solverOptimal = true;     ///< solver proved optimality
     std::string solverStatus;      ///< diagnostic (SMT variants)
 
+    /**
+     * Per-stage wall times and notes. Filled by the pass pipeline
+     * (core/pipeline.hpp); empty for programs produced by the legacy
+     * monolithic Mapper::compile path.
+     */
+    std::vector<StageTrace> stageTraces;
+
     /** Hardware-level circuit (Swaps preserved; QASM expands them). */
     Circuit hwCircuit(int n_clbits) const;
 };
+
+/**
+ * Eq. 12-style unweighted log-reliability of a program under a fixed
+ * layout: the sum of log readout reliabilities and log routed-CNOT EC
+ * values, following the scheduler's own route choices so predictions
+ * match the emitted code exactly. Shared by Mapper::finalize and the
+ * pipeline's prediction pass so the two accountings cannot drift.
+ */
+double predictLogReliability(const Machine &machine,
+                             const Circuit &prog,
+                             const std::vector<HwQubit> &layout,
+                             const ListScheduler &scheduler);
 
 /**
  * Abstract compiler backend: placement + routing + scheduling for one

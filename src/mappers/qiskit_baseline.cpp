@@ -6,28 +6,38 @@
 
 namespace qc {
 
+std::vector<HwQubit>
+qiskitTrivialLayout(const Circuit &prog)
+{
+    std::vector<HwQubit> layout(prog.numQubits());
+    for (int q = 0; q < prog.numQubits(); ++q)
+        layout[q] = q;
+    return layout;
+}
+
+std::vector<int>
+qiskitRowFirstJunctions(const Circuit &prog)
+{
+    std::vector<int> junctions(prog.size(), -1);
+    for (size_t i = 0; i < prog.size(); ++i)
+        if (prog.gate(i).op == Op::CNOT)
+            junctions[i] = 0;
+    return junctions;
+}
+
 CompiledProgram
 QiskitBaselineMapper::compile(const Circuit &prog)
 {
     auto t0 = std::chrono::steady_clock::now();
 
-    // Lexicographic (trivial) placement: program qubit i -> hardware
-    // qubit i, exactly what the paper observed Qiskit 0.5.7 doing.
-    std::vector<HwQubit> layout(prog.numQubits());
-    for (int q = 0; q < prog.numQubits(); ++q)
-        layout[q] = q;
-
-    // Fixed row-first shortest routes; no calibration input.
     SchedulerOptions opts;
     opts.policy = RoutingPolicy::OneBendPath;
     opts.select = RouteSelect::Fixed;
     opts.calibratedDurations = true; // hardware runs at real speed
-    opts.fixedJunctions.assign(prog.size(), -1);
-    for (size_t i = 0; i < prog.size(); ++i)
-        if (prog.gate(i).op == Op::CNOT)
-            opts.fixedJunctions[i] = 0;
+    opts.fixedJunctions = qiskitRowFirstJunctions(prog);
 
-    CompiledProgram out = finalize(prog, std::move(layout), opts);
+    CompiledProgram out =
+        finalize(prog, qiskitTrivialLayout(prog), opts);
     out.mapperName = name();
     out.compileSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -14,6 +14,19 @@
 
 namespace qc {
 
+/**
+ * Lexicographic (trivial) placement: program qubit i -> hardware
+ * qubit i, exactly what the paper observed Qiskit 0.5.7 doing.
+ * Shared by QiskitBaselineMapper and the pipeline's Qiskit pass.
+ */
+std::vector<HwQubit> qiskitTrivialLayout(const Circuit &prog);
+
+/**
+ * Fixed row-first shortest routes: junction 0 for every CNOT, -1 for
+ * other gates (no calibration input).
+ */
+std::vector<int> qiskitRowFirstJunctions(const Circuit &prog);
+
 /** The paper's industry-standard baseline. */
 class QiskitBaselineMapper : public Mapper
 {

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "mappers/qiskit_baseline.hpp"
 #include "support/logging.hpp"
 
 namespace qc {
@@ -18,47 +19,49 @@ smtVariantName(SmtVariant v)
     QC_PANIC("unknown SMT variant");
 }
 
-SmtMapper::SmtMapper(const Machine &machine, SmtMapperOptions options)
-    : Mapper(machine), options_(options)
+SmtMapperOptions
+effectiveSmtOptions(SmtMapperOptions options)
 {
-    // R-SMT* performs reliability optimization under one-bend paths
-    // (paper Sec. 4.4).
-    if (options_.variant == SmtVariant::RSmtStar)
-        options_.policy = RoutingPolicy::OneBendPath;
+    if (options.variant == SmtVariant::RSmtStar)
+        options.policy = RoutingPolicy::OneBendPath;
+    return options;
+}
+
+SmtMapper::SmtMapper(const Machine &machine, SmtMapperOptions options)
+    : Mapper(machine), options_(effectiveSmtOptions(options))
+{
 }
 
 std::string
-SmtMapper::name() const
+smtMapperDisplayName(const SmtMapperOptions &options)
 {
     std::ostringstream oss;
-    oss << smtVariantName(options_.variant);
-    if (options_.variant == SmtVariant::RSmtStar) {
-        oss << " w=" << options_.readoutWeight;
+    oss << smtVariantName(options.variant);
+    if (options.variant == SmtVariant::RSmtStar) {
+        oss << " w=" << options.readoutWeight;
     } else {
-        oss << " " << routingPolicyName(options_.policy);
+        oss << " " << routingPolicyName(options.policy);
     }
     return oss.str();
 }
 
-CompiledProgram
-SmtMapper::compile(const Circuit &prog)
+SmtModelOptions
+smtModelOptionsFor(const SmtMapperOptions &options, const Circuit &prog)
 {
-    auto t0 = std::chrono::steady_clock::now();
-
     SmtModelOptions model;
-    model.policy = options_.policy;
-    model.readoutWeight = options_.readoutWeight;
-    model.timeoutMs = options_.timeoutMs;
-    model.jointScheduling = options_.jointScheduling;
+    model.policy = options.policy;
+    model.readoutWeight = options.readoutWeight;
+    model.timeoutMs = options.timeoutMs;
+    model.jointScheduling = options.jointScheduling;
     // The joint routing-overlap encoding grows quadratically in CNOT
     // count; beyond paper-scale programs the reliability variant
     // solves placement + junctions exactly and realizes the schedule
     // with the list scheduler (identical objective value).
-    if (options_.variant == SmtVariant::RSmtStar &&
+    if (options.variant == SmtVariant::RSmtStar &&
         prog.cnotCount() > kJointSchedulingCnotLimit) {
         model.jointScheduling = false;
     }
-    switch (options_.variant) {
+    switch (options.variant) {
       case SmtVariant::TSmt:
         model.objective = SmtObjectiveKind::Duration;
         model.calibrationAware = false;
@@ -72,8 +75,22 @@ SmtMapper::compile(const Circuit &prog)
         model.calibrationAware = true;
         break;
     }
+    return model;
+}
 
-    SmtSolution sol = solveSmtMapping(machine_, prog, model);
+std::string
+SmtMapper::name() const
+{
+    return smtMapperDisplayName(options_);
+}
+
+CompiledProgram
+SmtMapper::compile(const Circuit &prog)
+{
+    auto t0 = std::chrono::steady_clock::now();
+
+    SmtSolution sol = solveSmtMapping(
+        machine_, prog, smtModelOptionsFor(options_, prog));
 
     std::vector<HwQubit> layout;
     SchedulerOptions sched;
@@ -97,9 +114,7 @@ SmtMapper::compile(const Circuit &prog)
         // trivial placement so callers still get a runnable program.
         QC_WARN("SMT solve failed (", sol.status,
                 ") for ", prog.name(), "; falling back to trivial layout");
-        layout.resize(prog.numQubits());
-        for (int q = 0; q < prog.numQubits(); ++q)
-            layout[q] = q;
+        layout = qiskitTrivialLayout(prog);
         sched.select = options_.variant == SmtVariant::RSmtStar
                            ? RouteSelect::BestReliability
                            : RouteSelect::BestDuration;

@@ -60,6 +60,30 @@ struct SmtMapperOptions
 inline constexpr int kJointSchedulingCnotLimit = 12;
 
 /**
+ * Display name for an SMT configuration ("R-SMT* w=0.5",
+ * "T-SMT 1BP", ...) — the mapperName both SmtMapper and the
+ * pipeline's SMT bundles report.
+ */
+std::string smtMapperDisplayName(const SmtMapperOptions &options);
+
+/**
+ * Normalize mapper-level options: R-SMT* performs reliability
+ * optimization under one-bend paths (paper Sec. 4.4), so its policy
+ * is forced to 1BP here — the single place the rule lives, shared by
+ * SmtMapper, the SMT placement pass, and the pipeline bundles.
+ */
+SmtMapperOptions effectiveSmtOptions(SmtMapperOptions options);
+
+/**
+ * Translate mapper-level options into the Z3 model configuration,
+ * including the R-SMT* joint-scheduling escape hatch for programs
+ * beyond kJointSchedulingCnotLimit CNOTs. Shared by SmtMapper and
+ * the pipeline's SMT placement pass.
+ */
+SmtModelOptions smtModelOptionsFor(const SmtMapperOptions &options,
+                                   const Circuit &prog);
+
+/**
  * Optimal compilation through Z3.
  *
  * If the solver times out without any model, the mapper falls back to

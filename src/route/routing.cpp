@@ -14,6 +14,18 @@ routingPolicyName(RoutingPolicy p)
     QC_PANIC("unknown routing policy");
 }
 
+const char *
+routeSelectName(RouteSelect s)
+{
+    switch (s) {
+      case RouteSelect::BestReliability: return "best-reliability";
+      case RouteSelect::BestDuration: return "best-duration";
+      case RouteSelect::Dijkstra: return "dijkstra";
+      case RouteSelect::Fixed: return "fixed-junctions";
+    }
+    QC_PANIC("unknown route selection");
+}
+
 Region
 routeRegion(const GridTopology &topo, const RoutePath &route,
             RoutingPolicy policy)

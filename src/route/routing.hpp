@@ -34,6 +34,8 @@ enum class RouteSelect {
     Fixed,           ///< junction dictated per-CNOT by the SMT solver
 };
 
+const char *routeSelectName(RouteSelect s);
+
 /**
  * Region reserved by a route under a policy.
  *

@@ -65,23 +65,43 @@ CompileService::runJob(const CompileRequest &request)
         }
 
         result.machine = machines_.acquire(request.topo, request.cal);
-        NoiseAdaptiveCompiler compiler(result.machine,
-                                       request.options);
-        auto program = std::make_shared<const CompiledProgram>(
-            compiler.compile(request.circuit));
-        cache_.insert(key, program);
-        result.program = std::move(program);
-        result.ok = true;
+        Pipeline pipeline =
+            standardPipeline(result.machine, request.options);
+        PipelineResult compiled = pipeline.run(request.circuit);
+
+        result.status = compiled.status;
+        result.failedStage = compiled.failedStage;
+        if (compiled.hasProgram) {
+            // The program keeps its own trace copy: it may outlive
+            // this result through the cache.
+            result.stageTraces = compiled.program.stageTraces;
+            auto program = std::make_shared<const CompiledProgram>(
+                std::move(compiled.program));
+            // Degraded solver fallbacks are usable but not worth
+            // pinning in the cache.
+            if (compiled.status.ok())
+                cache_.insert(key, program);
+            result.program = std::move(program);
+            result.ok = true;
+        } else {
+            result.ok = false;
+            result.stageTraces =
+                std::move(compiled.program.stageTraces);
+            result.program = nullptr;
+            result.machine = nullptr;
+        }
     } catch (const std::exception &e) {
-        // FatalError, z3 errors, bad_alloc, ... — a failing job must
-        // never poison the batch or escape the future contract.
+        // bad_alloc, queue shutdown, ... — a failing job must never
+        // poison the batch or escape the future contract. (Compile
+        // failures themselves already surface as status values.)
         result.ok = false;
-        result.error = e.what();
+        result.status = CompileStatus::internalError(e.what());
         result.program = nullptr;
         result.machine = nullptr;
     } catch (...) {
         result.ok = false;
-        result.error = "unknown exception during compilation";
+        result.status = CompileStatus::internalError(
+            "unknown exception during compilation");
         result.program = nullptr;
         result.machine = nullptr;
     }
@@ -140,14 +160,42 @@ CompileService::makeReport(const std::vector<CompileResult> &results,
 {
     ServiceReport report;
     report.jobs = static_cast<int>(results.size());
+
+    auto stage_slot = [&report](const std::string &label)
+        -> StageSummary & {
+        for (StageSummary &s : report.stages)
+            if (s.stage == label)
+                return s;
+        report.stages.push_back({label, 0, 0.0, 0});
+        return report.stages.back();
+    };
+
     for (const CompileResult &r : results) {
         if (r.ok)
             ++report.succeeded;
         else
             ++report.failed;
+        if (r.ok && !r.status.ok())
+            ++report.degraded;
         if (r.cacheHit)
             ++report.cacheHits;
         report.jobSeconds += r.seconds;
+
+        for (const StageTrace &t : r.stageTraces) {
+            StageSummary &s = stage_slot(t.stage + "/" + t.pass);
+            ++s.runs;
+            s.seconds += t.seconds;
+        }
+        if (!r.ok && !r.failedStage.empty()) {
+            // The failing stage is the last trace recorded for the
+            // job; attribute the failure to its stage/pass label.
+            const std::string label =
+                r.stageTraces.empty()
+                    ? r.failedStage
+                    : r.stageTraces.back().stage + "/" +
+                          r.stageTraces.back().pass;
+            ++stage_slot(label).failures;
+        }
     }
     report.wallSeconds = wall_seconds;
     report.machinePool = machines_.stats();
@@ -160,7 +208,10 @@ ServiceReport::toString() const
 {
     std::ostringstream oss;
     oss << "jobs: " << jobs << " (" << succeeded << " ok, " << failed
-        << " failed, " << cacheHits << " cache hits)\n"
+        << " failed, " << cacheHits << " cache hits";
+    if (degraded > 0)
+        oss << ", " << degraded << " degraded";
+    oss << ")\n"
         << "wall time: " << wallSeconds << " s (" << throughput()
         << " jobs/s; " << jobSeconds << " s of job time)\n"
         << "machine pool: " << machinePool.builds << " builds, "
@@ -169,6 +220,16 @@ ServiceReport::toString() const
         << "compile cache: " << cache.hits << "/" << cache.lookups()
         << " hits (rate " << cache.hitRate() << "), "
         << cache.evictions << " evictions\n";
+    if (!stages.empty()) {
+        oss << "stage breakdown:\n";
+        for (const StageSummary &s : stages) {
+            oss << "  " << s.stage << ": " << s.seconds << " s over "
+                << s.runs << " runs";
+            if (s.failures > 0)
+                oss << " (" << s.failures << " failed here)";
+            oss << "\n";
+        }
+    }
     return oss.str();
 }
 

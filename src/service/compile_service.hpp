@@ -14,6 +14,11 @@
  *   - a CompileCache returns previously compiled results for exact
  *     (circuit, calibration, options) repeats.
  *
+ * Jobs run the staged pass pipeline (core/pipeline.hpp): failures
+ * come back as structured CompileStatus values with the failing
+ * stage recorded, and every fresh compile carries per-stage wall
+ * times that ServiceReport aggregates into a batch-wide breakdown.
+ *
  * Every mapper is deterministic, so a batch compiled with N workers
  * is bit-identical to the same batch compiled serially — the
  * test suite asserts this.
@@ -60,9 +65,33 @@ struct CompileResult
 {
     std::string tag;
     int day = 0;
-    bool ok = false;
+    bool ok = false;       ///< a compiled artifact was produced
     bool cacheHit = false;
-    std::string error;     ///< FatalError text when !ok
+
+    /**
+     * Diagnostic text: the status message (also set for degraded
+     * fallbacks), empty on clean success.
+     */
+    const std::string &error() const { return status.message; }
+
+    /**
+     * Structured outcome: ok / infeasible / solver-timeout /
+     * internal-error. May be non-ok while `ok` is true when the
+     * solver timed out but the pipeline produced a degraded fallback
+     * program (such results are never cached).
+     */
+    CompileStatus status;
+
+    /** Pipeline stage that failed ("placement", ...); empty if none. */
+    std::string failedStage;
+
+    /**
+     * Per-stage wall times and notes for freshly compiled jobs —
+     * recorded for failures too, so a failed job shows which stage
+     * died and how long it ran. Empty for cache hits (the cached
+     * program carries its original compile's traces).
+     */
+    std::vector<StageTrace> stageTraces;
 
     /** The compiled artifact (shared with the cache); null on error. */
     std::shared_ptr<const CompiledProgram> program;
@@ -74,7 +103,17 @@ struct CompileResult
      */
     std::shared_ptr<const Machine> machine;
 
-    double seconds = 0.0;  ///< job wall time (cache hits ~0)
+    /** Job wall time, failures included (cache hits ~0). */
+    double seconds = 0.0;
+};
+
+/** Per-stage aggregate across a batch. */
+struct StageSummary
+{
+    std::string stage;   ///< "placement/GreedyE*", "scheduling/list", ...
+    int runs = 0;
+    double seconds = 0.0;
+    int failures = 0;    ///< jobs whose pipeline died in this stage
 };
 
 /** Aggregate accounting for one batch (or a whole service lifetime). */
@@ -84,6 +123,13 @@ struct ServiceReport
     int succeeded = 0;
     int failed = 0;
     int cacheHits = 0;
+    int degraded = 0;    ///< ok jobs with a non-ok status (fallbacks)
+
+    /**
+     * Per-stage time breakdown over freshly compiled jobs, in
+     * first-seen stage order (cache hits contribute nothing).
+     */
+    std::vector<StageSummary> stages;
 
     double wallSeconds = 0.0;    ///< batch wall-clock time
     double jobSeconds = 0.0;     ///< sum of per-job times

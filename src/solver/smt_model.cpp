@@ -388,6 +388,7 @@ solveSmtMapping(const Machine &machine, const Circuit &prog,
             r = solver.check();
         } catch (const z3::exception &e) {
             sol.status = std::string("z3 exception: ") + e.msg();
+            sol.failure = SmtFailure::Error;
             solver.pop();
             return z3::unknown;
         }
@@ -470,6 +471,7 @@ solveSmtMapping(const Machine &machine, const Circuit &prog,
                 check_with_bound(std::nullopt, options.timeoutMs);
             if (r == z3::unsat) {
                 sol.status = "unsat";
+                sol.failure = SmtFailure::Unsat;
                 sol.solveSeconds = std::chrono::duration<double>(
                                        Clock::now() - t0)
                                        .count();
@@ -478,6 +480,8 @@ solveSmtMapping(const Machine &machine, const Circuit &prog,
             if (r != z3::sat && !best_model) {
                 if (sol.status.empty())
                     sol.status = "unknown";
+                if (sol.failure == SmtFailure::None)
+                    sol.failure = SmtFailure::Timeout;
                 sol.solveSeconds = std::chrono::duration<double>(
                                        Clock::now() - t0)
                                        .count();

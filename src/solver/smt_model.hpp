@@ -58,11 +58,20 @@ struct SmtModelOptions
     bool jointScheduling = true;
 };
 
+/** Why a solve produced no model (meaningful when !feasible). */
+enum class SmtFailure {
+    None,    ///< a model was found (or no failure recorded yet)
+    Unsat,   ///< constraints proven unsatisfiable
+    Timeout, ///< budget exhausted without any model
+    Error,   ///< Z3 raised an exception
+};
+
 /** Outcome of an SMT solve. */
 struct SmtSolution
 {
     bool feasible = false; ///< a model satisfying all constraints exists
     bool optimal = false;  ///< Z3 proved optimality before the timeout
+    SmtFailure failure = SmtFailure::None; ///< structured no-model cause
     std::vector<HwQubit> layout; ///< program qubit -> hardware qubit
     std::vector<int> junctions;  ///< per gate: one-bend route index, -1
     double solveSeconds = 0.0;

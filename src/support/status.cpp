@@ -1,0 +1,28 @@
+#include "status.hpp"
+
+#include "support/logging.hpp"
+
+namespace qc {
+
+const char *
+compileStatusCodeName(CompileStatusCode code)
+{
+    switch (code) {
+      case CompileStatusCode::Ok: return "ok";
+      case CompileStatusCode::Infeasible: return "infeasible";
+      case CompileStatusCode::SolverTimeout: return "solver-timeout";
+      case CompileStatusCode::InternalError: return "internal-error";
+    }
+    QC_PANIC("unknown compile status code");
+}
+
+double
+totalStageSeconds(const std::vector<StageTrace> &traces)
+{
+    double total = 0.0;
+    for (const StageTrace &t : traces)
+        total += t.seconds;
+    return total;
+}
+
+} // namespace qc

@@ -17,13 +17,52 @@ using test::kSeed;
 
 TEST(MapperKind, NamesRoundTrip)
 {
-    for (MapperKind k :
-         {MapperKind::Qiskit, MapperKind::TSmt, MapperKind::TSmtStar,
-          MapperKind::RSmtStar, MapperKind::GreedyV,
-          MapperKind::GreedyE}) {
-        EXPECT_EQ(mapperKindFromName(mapperKindName(k)), k);
-    }
+    for (MapperKind k : kAllMapperKinds)
+        EXPECT_EQ(mapperKindFromName(mapperKindName(k)), k)
+            << mapperKindName(k);
     EXPECT_THROW(mapperKindFromName("SABRE"), FatalError);
+}
+
+TEST(MapperKind, NamesAreCaseAndSeparatorInsensitive)
+{
+    EXPECT_EQ(mapperKindFromName("qiskit"), MapperKind::Qiskit);
+    EXPECT_EQ(mapperKindFromName("RSMT*"), MapperKind::RSmtStar);
+    EXPECT_EQ(mapperKindFromName("rsmt*"), MapperKind::RSmtStar);
+    EXPECT_EQ(mapperKindFromName("r smt*"), MapperKind::RSmtStar);
+    EXPECT_EQ(mapperKindFromName("t_smt"), MapperKind::TSmt);
+    EXPECT_EQ(mapperKindFromName("T-smt*"), MapperKind::TSmtStar);
+    EXPECT_EQ(mapperKindFromName("GREEDYE*"), MapperKind::GreedyE);
+    EXPECT_EQ(mapperKindFromName("greedy_v*"), MapperKind::GreedyV);
+    EXPECT_EQ(mapperKindFromName("greedye*+track"),
+              MapperKind::GreedyETrack);
+}
+
+TEST(MapperKind, CommonAliasesAreAccepted)
+{
+    // No unstarred R variant exists, so "r-smt" means R-SMT*; bare
+    // greedy names mean the starred heuristics.
+    EXPECT_EQ(mapperKindFromName("r-smt"), MapperKind::RSmtStar);
+    EXPECT_EQ(mapperKindFromName("rsmt"), MapperKind::RSmtStar);
+    EXPECT_EQ(mapperKindFromName("greedye"), MapperKind::GreedyE);
+    EXPECT_EQ(mapperKindFromName("greedyv"), MapperKind::GreedyV);
+    EXPECT_EQ(mapperKindFromName("track"), MapperKind::GreedyETrack);
+    EXPECT_EQ(mapperKindFromName("greedyetrack"),
+              MapperKind::GreedyETrack);
+    EXPECT_EQ(mapperKindFromName("baseline"), MapperKind::Qiskit);
+}
+
+TEST(MapperKind, UnknownNameErrorListsInputAndValidNames)
+{
+    try {
+        mapperKindFromName("SABRE");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("SABRE"), std::string::npos) << msg;
+        for (MapperKind k : kAllMapperKinds)
+            EXPECT_NE(msg.find(mapperKindName(k)), std::string::npos)
+                << "missing " << mapperKindName(k) << " in: " << msg;
+    }
 }
 
 class AllMapperKinds : public ::testing::TestWithParam<MapperKind>

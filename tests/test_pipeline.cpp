@@ -1,0 +1,323 @@
+/**
+ * @file
+ * Pass-pipeline tests: bit-identical equivalence between the staged
+ * Pipeline and the legacy monolithic mappers for all seven Table 1
+ * variants on the Table 2 benchmark set, QASM round-tripping of
+ * pipeline output, structured-status surfacing, stage traces, and
+ * the builder's mix-and-match scenario matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/passes.hpp"
+#include "ir/qasm.hpp"
+#include "test_util.hpp"
+
+namespace qc {
+namespace {
+
+using test::env;
+using test::kSeed;
+
+std::shared_ptr<const Machine>
+machineForDay(int day)
+{
+    return std::make_shared<const Machine>(env().machineForDay(day));
+}
+
+/** Compiler options shared by the equivalence runs. */
+CompilerOptions
+optionsFor(MapperKind kind)
+{
+    CompilerOptions opts;
+    opts.mapper = kind;
+    opts.smtTimeoutMs = 15'000;
+    return opts;
+}
+
+bool
+isSmtKind(MapperKind kind)
+{
+    return kind == MapperKind::TSmt || kind == MapperKind::TSmtStar ||
+           kind == MapperKind::RSmtStar;
+}
+
+/** Field-by-field bit-identity check, timing fields excluded. */
+void
+expectBitIdentical(const CompiledProgram &legacy,
+                   const CompiledProgram &pipe)
+{
+    EXPECT_EQ(legacy.mapperName, pipe.mapperName);
+    EXPECT_EQ(legacy.programName, pipe.programName);
+    EXPECT_EQ(legacy.layout, pipe.layout);
+    EXPECT_EQ(legacy.junctions, pipe.junctions);
+    EXPECT_EQ(legacy.duration, pipe.duration);
+    EXPECT_EQ(legacy.swapCount, pipe.swapCount);
+    EXPECT_EQ(legacy.logReliability, pipe.logReliability);
+    EXPECT_EQ(legacy.predictedSuccess, pipe.predictedSuccess);
+    EXPECT_EQ(legacy.solverOptimal, pipe.solverOptimal);
+    EXPECT_EQ(legacy.solverStatus, pipe.solverStatus);
+
+    const Schedule &ls = legacy.schedule;
+    const Schedule &ps = pipe.schedule;
+    EXPECT_EQ(ls.numHwQubits, ps.numHwQubits);
+    EXPECT_EQ(ls.makespan, ps.makespan);
+    EXPECT_EQ(ls.qubitFinish, ps.qubitFinish);
+    ASSERT_EQ(ls.ops.size(), ps.ops.size());
+    for (size_t i = 0; i < ls.ops.size(); ++i) {
+        EXPECT_EQ(ls.ops[i].gate, ps.ops[i].gate) << "op " << i;
+        EXPECT_EQ(ls.ops[i].start, ps.ops[i].start) << "op " << i;
+        EXPECT_EQ(ls.ops[i].duration, ps.ops[i].duration) << "op " << i;
+        EXPECT_EQ(ls.ops[i].progGate, ps.ops[i].progGate) << "op " << i;
+        EXPECT_EQ(ls.ops[i].isRouteSwap, ps.ops[i].isRouteSwap)
+            << "op " << i;
+    }
+    ASSERT_EQ(ls.macros.size(), ps.macros.size());
+    for (size_t i = 0; i < ls.macros.size(); ++i) {
+        EXPECT_EQ(ls.macros[i].progGate, ps.macros[i].progGate);
+        EXPECT_EQ(ls.macros[i].start, ps.macros[i].start);
+        EXPECT_EQ(ls.macros[i].duration, ps.macros[i].duration);
+    }
+}
+
+class PipelineEquivalence : public ::testing::TestWithParam<MapperKind>
+{
+};
+
+/**
+ * The acceptance bar of the pipeline redesign: for every MapperKind,
+ * Pipeline output is bit-identical to the pre-refactor monolithic
+ * mapper on the full Table 2 benchmark set.
+ */
+TEST_P(PipelineEquivalence, MatchesLegacyMapperOnTable2Set)
+{
+    const CompilerOptions opts = optionsFor(GetParam());
+    auto machine = machineForDay(0);
+    Pipeline pipeline = standardPipeline(machine, opts);
+
+    int strict = 0;
+    for (const Benchmark &b : paperBenchmarks()) {
+        SCOPED_TRACE(b.name);
+        CompiledProgram legacy =
+            NoiseAdaptiveCompiler::makeMapper(*machine, opts)
+                ->compile(b.circuit);
+        PipelineResult piped = pipeline.run(b.circuit);
+
+        // A Z3 search interrupted by its wall-clock budget is not
+        // deterministic across two runs, so strict bit-identity is
+        // only guaranteed when both solves proved optimality — a
+        // no-model timeout (degraded non-ok status) is skipped too.
+        // The floor below keeps the skip path from swallowing the
+        // test.
+        if (isSmtKind(GetParam()) &&
+            (!piped.ok() || !legacy.solverOptimal ||
+             !piped.program.solverOptimal))
+            continue;
+        ASSERT_TRUE(piped.ok()) << piped.status.message;
+        expectBitIdentical(legacy, piped.program);
+        ++strict;
+    }
+    const int total = static_cast<int>(paperBenchmarks().size());
+    if (isSmtKind(GetParam()))
+        EXPECT_GE(strict, total - 4);
+    else
+        EXPECT_EQ(strict, total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, PipelineEquivalence, ::testing::ValuesIn(kAllMapperKinds),
+    [](const ::testing::TestParamInfo<MapperKind> &info) {
+        std::string n = mapperKindName(info.param);
+        for (char &c : n)
+            if (c == '-' || c == '*' || c == '+')
+                c = '_';
+        return n;
+    });
+
+TEST(PipelineTraces, EveryStageIsTimedInOrder)
+{
+    PipelineResult r =
+        standardPipeline(machineForDay(0),
+                         optionsFor(MapperKind::GreedyE))
+            .run(benchmarkByName("BV4").circuit);
+    ASSERT_TRUE(r.ok());
+
+    const auto &traces = r.program.stageTraces;
+    ASSERT_EQ(traces.size(), 4u);
+    EXPECT_EQ(traces[0].stage, "placement");
+    EXPECT_EQ(traces[1].stage, "routing");
+    EXPECT_EQ(traces[2].stage, "scheduling");
+    EXPECT_EQ(traces[3].stage, "prediction");
+    EXPECT_EQ(traces[0].pass, "GreedyE*");
+    for (const StageTrace &t : traces)
+        EXPECT_GE(t.seconds, 0.0);
+    EXPECT_NE(traces[2].note.find("makespan"), std::string::npos);
+    EXPECT_GE(r.program.compileSeconds, totalStageSeconds(traces));
+}
+
+TEST(PipelineStatus, OversizedProgramIsInfeasibleNotThrown)
+{
+    GridTopology small(2, 2);
+    CalibrationModel model(small, kSeed);
+    auto machine =
+        std::make_shared<const Machine>(small, model.forDay(0));
+    Benchmark b = benchmarkByName("BV6");
+
+    for (MapperKind kind :
+         {MapperKind::Qiskit, MapperKind::GreedyE, MapperKind::GreedyV,
+          MapperKind::GreedyETrack}) {
+        SCOPED_TRACE(mapperKindName(kind));
+        PipelineResult r =
+            standardPipeline(machine, optionsFor(kind)).run(b.circuit);
+        EXPECT_FALSE(r.ok());
+        EXPECT_FALSE(r.hasProgram);
+        EXPECT_EQ(r.status.code, CompileStatusCode::Infeasible);
+        EXPECT_FALSE(r.status.message.empty());
+        EXPECT_FALSE(r.failedStage.empty());
+        // The traces of the stages that ran are preserved.
+        EXPECT_FALSE(r.program.stageTraces.empty());
+    }
+
+    // The back-compat facade keeps the legacy throwing contract.
+    CompilerOptions opts = optionsFor(MapperKind::GreedyE);
+    NoiseAdaptiveCompiler compiler(small, model.forDay(0), opts);
+    EXPECT_THROW(compiler.compile(b.circuit), FatalError);
+    PipelineResult shim = compiler.compileWithStatus(b.circuit);
+    EXPECT_EQ(shim.status.code, CompileStatusCode::Infeasible);
+}
+
+TEST(PipelineStatus, UnsatisfiableSolveProducesDegradedFallback)
+{
+    // A calibration whose T2 windows are shorter than any gate makes
+    // the SMT coherence constraints unsatisfiable — deterministically,
+    // unlike a wall-clock timeout. The pipeline degrades to the
+    // trivial-layout fallback (the legacy SmtMapper contract) while
+    // the structured status reports the solver failure and stage.
+    GridTopology topo = GridTopology::ibmq16();
+    Calibration cal = test::uniformCalibration(topo);
+    cal.t2Us.assign(topo.numQubits(), 1e-3);
+    auto machine = std::make_shared<const Machine>(topo, cal);
+
+    PipelineResult r =
+        standardPipeline(machine, optionsFor(MapperKind::TSmtStar))
+            .run(benchmarkByName("BV4").circuit);
+    ASSERT_TRUE(r.hasProgram);
+    EXPECT_FALSE(r.status.ok());
+    EXPECT_EQ(r.status.code, CompileStatusCode::Infeasible);
+    EXPECT_EQ(r.failedStage, "placement");
+    EXPECT_EQ(r.program.solverStatus, "unsat");
+    EXPECT_FALSE(r.program.solverOptimal);
+    EXPECT_GT(r.program.predictedSuccess, 0.0);
+}
+
+TEST(PipelineQasm, RoundTripPreservesSemanticsAndGateCounts)
+{
+    auto machine = machineForDay(0);
+    for (MapperKind kind :
+         {MapperKind::Qiskit, MapperKind::GreedyE,
+          MapperKind::GreedyETrack, MapperKind::RSmtStar}) {
+        SCOPED_TRACE(mapperKindName(kind));
+        Benchmark b = benchmarkByName("Toffoli");
+        PipelineResult r =
+            standardPipeline(machine, optionsFor(kind)).run(b.circuit);
+        ASSERT_TRUE(r.ok()) << r.status.message;
+
+        Circuit hw = r.program.hwCircuit(b.circuit.numClbits());
+        std::string qasm = emitQasm(hw);
+
+        // Re-parses, computes the right answer, and preserves the
+        // hardware CNOT count (routing SWAPs expand to 3 CNOTs).
+        Circuit parsed = parseQasm(qasm, hw.name());
+        EXPECT_EQ(parsed.numQubits(), machine->numQubits());
+        EXPECT_EQ(idealOutcome(parsed), b.expected);
+        EXPECT_EQ(parsed.cnotCount(),
+                  r.program.schedule.hwCnotCount());
+
+        // Emission is a fixpoint: parse(emit(x)) emits identically.
+        EXPECT_EQ(emitQasm(parsed), qasm);
+    }
+}
+
+TEST(PipelineBuilderApi, MixAndMatchScenarioMatrix)
+{
+    auto machine = machineForDay(0);
+    Benchmark b = benchmarkByName("Adder");
+
+    // A combination Table 1 never shipped: GreedyV* placement under
+    // the live-tracking scheduler.
+    Pipeline vtrack = Pipeline::forMachine(machine)
+                          .placement(passes::greedyVertex())
+                          .routing(passes::liveRouting())
+                          .scheduling(passes::trackingScheduling())
+                          .named("GreedyV*+track")
+                          .build();
+    PipelineResult rv = vtrack.run(b.circuit);
+    ASSERT_TRUE(rv.ok()) << rv.status.message;
+    EXPECT_EQ(rv.program.mapperName, "GreedyV*+track");
+    EXPECT_GT(rv.program.predictedSuccess, 0.0);
+    test::expectScheduleWellFormed(*machine, rv.program.schedule);
+
+    // GreedyE* placement under rectangle-reservation best-duration
+    // routing (previously only reachable through the SMT bundles).
+    Pipeline err = Pipeline::forMachine(machine)
+                       .placement(passes::greedyEdge())
+                       .routing(passes::routeSelection(
+                           RoutingPolicy::RectangleReservation,
+                           RouteSelect::BestDuration))
+                       .build();
+    PipelineResult re = err.run(b.circuit);
+    ASSERT_TRUE(re.ok()) << re.status.message;
+    test::expectScheduleWellFormed(*machine, re.program.schedule);
+
+    // Different routing policy => genuinely different configuration,
+    // same placement.
+    EXPECT_EQ(rv.program.layout.size(), re.program.layout.size());
+}
+
+TEST(PipelineBuilderApi, DefaultsAndIntrospection)
+{
+    auto machine = machineForDay(0);
+    Pipeline pipe = Pipeline::forMachine(machine)
+                        .placement(passes::greedyEdge())
+                        .build();
+    EXPECT_EQ(pipe.name(), "GreedyE*");
+    ASSERT_EQ(pipe.stages().size(), 4u);
+    EXPECT_EQ(std::string(pipe.stages()[1]->stage()), "routing");
+
+    // Missing placement is a configuration error.
+    EXPECT_THROW(Pipeline::forMachine(machine).build(), FatalError);
+
+    // So is a mismatched routing/scheduling pairing: live routing
+    // feeds only a live-routing scheduler, and vice versa.
+    EXPECT_THROW(Pipeline::forMachine(machine)
+                     .placement(passes::greedyEdge())
+                     .routing(passes::liveRouting())
+                     .build(), // defaults to the list scheduler
+                 FatalError);
+    EXPECT_THROW(Pipeline::forMachine(machine)
+                     .placement(passes::greedyEdge())
+                     .scheduling(passes::trackingScheduling())
+                     .build(), // defaults to precomputed routing
+                 FatalError);
+}
+
+TEST(PipelineBuilderApi, ReusableAcrossCircuitsAndDays)
+{
+    // One pipeline object, many compiles: results match fresh
+    // pipelines (stateless passes).
+    auto machine = machineForDay(2);
+    CompilerOptions opts = optionsFor(MapperKind::GreedyV);
+    Pipeline pipe = standardPipeline(machine, opts);
+    for (const char *name : {"BV4", "Adder", "QFT"}) {
+        Benchmark b = benchmarkByName(name);
+        PipelineResult a = pipe.run(b.circuit);
+        PipelineResult fresh =
+            standardPipeline(machine, opts).run(b.circuit);
+        ASSERT_TRUE(a.ok());
+        ASSERT_TRUE(fresh.ok());
+        expectBitIdentical(fresh.program, a.program);
+    }
+}
+
+} // namespace
+} // namespace qc

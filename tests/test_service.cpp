@@ -386,14 +386,34 @@ TEST(CompileService, JobErrorsAreIsolated)
     BatchResult batch = svc.compileBatch({fits, too_big});
 
     EXPECT_TRUE(batch.results[0].ok);
+    EXPECT_TRUE(batch.results[0].status.ok());
     EXPECT_FALSE(batch.results[1].ok);
-    EXPECT_FALSE(batch.results[1].error.empty());
+    EXPECT_FALSE(batch.results[1].error().empty());
     EXPECT_EQ(batch.report.succeeded, 1);
     EXPECT_EQ(batch.report.failed, 1);
 
-    // The report renders without throwing.
-    EXPECT_NE(batch.report.toString().find("jobs: 2"),
-              std::string::npos);
+    // Structured status: the failing stage and its wall time are
+    // recorded even though the job produced no program.
+    const CompileResult &failed = batch.results[1];
+    EXPECT_EQ(failed.status.code, CompileStatusCode::Infeasible);
+    EXPECT_FALSE(failed.failedStage.empty());
+    EXPECT_FALSE(failed.stageTraces.empty());
+    EXPECT_GE(failed.seconds, 0.0);
+
+    // Successful fresh compiles carry all four stage traces, and the
+    // report aggregates a per-stage breakdown including the failure.
+    EXPECT_EQ(batch.results[0].stageTraces.size(), 4u);
+    EXPECT_FALSE(batch.report.stages.empty());
+    int stage_failures = 0;
+    for (const StageSummary &s : batch.report.stages)
+        stage_failures += s.failures;
+    EXPECT_EQ(stage_failures, 1);
+
+    // The report renders without throwing and shows the breakdown.
+    const std::string text = batch.report.toString();
+    EXPECT_NE(text.find("jobs: 2"), std::string::npos);
+    EXPECT_NE(text.find("stage breakdown"), std::string::npos);
+    EXPECT_NE(text.find("failed here"), std::string::npos);
 }
 
 TEST(CompileService, SubmitSingleJob)
@@ -409,7 +429,7 @@ TEST(CompileService, SubmitSingleJob)
 
     CompileService svc;
     CompileResult res = svc.submit(req).get();
-    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_TRUE(res.ok) << res.error();
     EXPECT_EQ(res.day, 5);
     ASSERT_NE(res.program, nullptr);
     ASSERT_NE(res.machine, nullptr);

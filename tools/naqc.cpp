@@ -53,6 +53,7 @@ struct CliOptions
     unsigned timeoutMs = 60'000;
     int simulateTrials = 0;
     bool report = false;
+    bool trace = false;
     bool help = false;
 
     bool batchMode() const { return jobs > 0 || days > 1; }
@@ -67,7 +68,9 @@ printUsage(std::ostream &os)
           "  --out FILE           write compiled OpenQASM here "
           "(default: stdout)\n"
           "  --mapper NAME        Qiskit | T-SMT | T-SMT* | R-SMT* | "
-          "GreedyV* | GreedyE*\n"
+          "GreedyV* | GreedyE* | GreedyE*+track\n"
+          "                       (case-insensitive; aliases like "
+          "'rsmt*' or 'track' work)\n"
           "  --rows R --cols C    machine grid (default 2x8, the "
           "paper's IBMQ16)\n"
           "  --calibration FILE   calibration snapshot (see "
@@ -88,6 +91,10 @@ printUsage(std::ostream &os)
           "success rate\n"
           "  --report             print mapping/reliability report to "
           "stderr\n"
+          "  --trace              print the per-stage timing table "
+          "(stderr in single\n"
+          "                       mode, stdout after the batch "
+          "report)\n"
           "  --help               this text\n";
 }
 
@@ -135,6 +142,8 @@ parseArgs(int argc, char **argv)
             opts.expected = need(i, "--expected");
         } else if (arg == "--report") {
             opts.report = true;
+        } else if (arg == "--trace") {
+            opts.trace = true;
         } else if (arg == "--help" || arg == "-h") {
             opts.help = true;
         } else {
@@ -205,21 +214,53 @@ runBatch(const CliOptions &opts)
     Table t({"job", "day", "status", "swaps", "duration",
              "pred. success", "seconds"});
     for (const auto &r : batch.results) {
+        std::string status = r.cacheHit ? "cached"
+                             : r.ok && !r.status.ok()
+                                 ? "degraded"
+                                 : compileStatusCodeName(r.status.code);
+        std::string stage_prefix =
+            r.failedStage.empty() ? "" : "[" + r.failedStage + "] ";
+        std::string detail =
+            !r.ok ? stage_prefix + r.error()
+            : r.status.ok()
+                ? Table::fmt(r.program->predictedSuccess)
+                : Table::fmt(r.program->predictedSuccess) + " (" +
+                      stage_prefix + r.error() + ")";
         t.addRow({r.tag, Table::fmt(static_cast<long long>(r.day)),
-                  r.ok ? (r.cacheHit ? "cached" : "ok") : "FAILED",
+                  status,
                   r.ok ? Table::fmt(static_cast<long long>(
                              r.program->swapCount))
                        : "-",
                   r.ok ? Table::fmt(static_cast<long long>(
                              r.program->duration))
                        : "-",
-                  r.ok ? Table::fmt(r.program->predictedSuccess)
-                       : r.error,
-                  Table::fmt(r.seconds)});
+                  detail, Table::fmt(r.seconds)});
     }
     t.print(std::cout);
     std::cout << "\n" << batch.report.toString();
+
+    if (opts.trace && !batch.report.stages.empty()) {
+        Table st({"stage", "seconds", "runs", "failures"});
+        for (const auto &s : batch.report.stages)
+            st.addRow({s.stage, Table::fmt(s.seconds),
+                       Table::fmt(static_cast<long long>(s.runs)),
+                       Table::fmt(static_cast<long long>(s.failures))});
+        std::cout << "\n";
+        st.print(std::cout);
+    }
     return batch.report.failed == 0 ? 0 : 1;
+}
+
+/** Per-stage timing table of one compile (--trace, single mode). */
+void
+printStageTrace(std::ostream &os,
+                const std::vector<StageTrace> &traces)
+{
+    Table t({"stage", "pass", "seconds", "note"});
+    for (const StageTrace &trace : traces)
+        t.addRow({trace.stage, trace.pass, Table::fmt(trace.seconds),
+                  trace.note});
+    t.print(os);
 }
 
 int
@@ -250,8 +291,25 @@ runCli(const CliOptions &opts)
     copts.mapper = mapperKindFromName(opts.mapper);
     copts.readoutWeight = opts.omega;
     copts.smtTimeoutMs = opts.timeoutMs;
-    NoiseAdaptiveCompiler compiler(topo, cal, copts);
-    CompiledProgram compiled = compiler.compile(prog);
+
+    auto machine = std::make_shared<const Machine>(topo, cal);
+    Pipeline pipeline = standardPipeline(machine, copts);
+    PipelineResult result = pipeline.run(prog);
+
+    if (opts.trace)
+        printStageTrace(std::cerr, result.program.stageTraces);
+    if (!result.hasProgram) {
+        std::cerr << "naqc: compile failed ["
+                  << compileStatusCodeName(result.status.code)
+                  << "] in stage '" << result.failedStage
+                  << "': " << result.status.message << "\n";
+        return 1;
+    }
+    if (!result.status.ok())
+        std::cerr << "naqc: degraded result ["
+                  << compileStatusCodeName(result.status.code)
+                  << "]: " << result.status.message << "\n";
+    CompiledProgram compiled = std::move(result.program);
 
     std::string qasm = emitQasm(compiled.hwCircuit(prog.numClbits()));
     if (opts.outPath.empty()) {
@@ -282,7 +340,6 @@ runCli(const CliOptions &opts)
 
     if (opts.simulateTrials > 0) {
         std::string expected = opts.expected;
-        Machine machine(topo, cal);
         if (expected.empty()) {
             expected = idealOutcome(prog);
             std::cerr << "expected answer (from ideal simulation): "
@@ -295,7 +352,7 @@ runCli(const CliOptions &opts)
         exec.trials = opts.simulateTrials;
         exec.seed = opts.seed;
         ExecutionResult res =
-            runNoisy(machine, compiled.schedule, prog.numClbits(),
+            runNoisy(*machine, compiled.schedule, prog.numClbits(),
                      expected, exec);
         std::cerr << "success rate: " << res.successRate << " +/- "
                   << res.halfWidth95 << " over " << res.trials
