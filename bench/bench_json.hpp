@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Minimal machine-readable JSON emission for the bench binaries.
+ *
+ * The perf-regression gate (tools/bench_check.py, the CI perf-smoke
+ * job) consumes a small common envelope:
+ *
+ *   {
+ *     "schema_version": 1,
+ *     "bench": "<binary name>",
+ *     "seed": 20190131,
+ *     "entries": [
+ *       {"name": "<instance>", ...context fields...,
+ *        "metrics": {"<metric>": <number>, ...}},
+ *       ...
+ *     ],
+ *     "totals": {"<metric>": <number>, ...}
+ *   }
+ *
+ * Wall-clock metrics end in "_s"; everything else is a deterministic
+ * count the checker can compare exactly. JsonWriter is a streaming
+ * writer with comma/nesting bookkeeping — just enough JSON for the
+ * artifact format, no dependency.
+ */
+
+#ifndef QC_BENCH_BENCH_JSON_HPP
+#define QC_BENCH_BENCH_JSON_HPP
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/logging.hpp"
+
+namespace qc::bench {
+
+/** Streaming JSON writer (objects/arrays, comma tracking). */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter &beginObject() { return open('{'); }
+    JsonWriter &endObject() { return close('}'); }
+    JsonWriter &beginArray() { return open('['); }
+    JsonWriter &endArray() { return close(']'); }
+
+    JsonWriter &key(const std::string &k)
+    {
+        comma();
+        writeString(k);
+        os_ << ":";
+        pendingValue_ = true;
+        return *this;
+    }
+
+    JsonWriter &value(const std::string &v)
+    {
+        comma();
+        writeString(v);
+        return *this;
+    }
+    JsonWriter &value(const char *v) { return value(std::string(v)); }
+    JsonWriter &value(bool v)
+    {
+        comma();
+        os_ << (v ? "true" : "false");
+        return *this;
+    }
+    JsonWriter &value(long long v)
+    {
+        comma();
+        os_ << v;
+        return *this;
+    }
+    JsonWriter &value(int v) { return value(static_cast<long long>(v)); }
+    JsonWriter &value(std::uint64_t v)
+    {
+        comma();
+        os_ << v;
+        return *this;
+    }
+    JsonWriter &value(double v)
+    {
+        comma();
+        if (!std::isfinite(v)) {
+            os_ << "null";
+            return *this;
+        }
+        std::ostringstream oss;
+        oss << std::setprecision(12) << v;
+        os_ << oss.str();
+        return *this;
+    }
+
+    template <typename T> JsonWriter &field(const std::string &k, T v)
+    {
+        key(k);
+        return value(v);
+    }
+
+  private:
+    void comma()
+    {
+        if (pendingValue_) {
+            pendingValue_ = false;
+            return; // value directly follows its key
+        }
+        if (!needComma_.empty() && needComma_.back())
+            os_ << ",";
+        if (!needComma_.empty())
+            needComma_.back() = true;
+    }
+
+    JsonWriter &open(char c)
+    {
+        comma();
+        os_ << c;
+        needComma_.push_back(false);
+        return *this;
+    }
+
+    JsonWriter &close(char c)
+    {
+        QC_ASSERT(!needComma_.empty(), "unbalanced JSON nesting");
+        needComma_.pop_back();
+        os_ << c;
+        return *this;
+    }
+
+    void writeString(const std::string &s)
+    {
+        os_ << '"';
+        for (char c : s) {
+            switch (c) {
+              case '"': os_ << "\\\""; break;
+              case '\\': os_ << "\\\\"; break;
+              case '\n': os_ << "\\n"; break;
+              case '\t': os_ << "\\t"; break;
+              default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    os_ << "\\u" << std::hex << std::setw(4)
+                        << std::setfill('0') << static_cast<int>(c)
+                        << std::dec << std::setfill(' ');
+                } else {
+                    os_ << c;
+                }
+            }
+        }
+        os_ << '"';
+    }
+
+    std::ostream &os_;
+    std::vector<bool> needComma_;
+    bool pendingValue_ = false;
+};
+
+/** Path given via `--json PATH`, or empty when absent. */
+inline std::string
+jsonOutPath(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            if (i + 1 >= argc)
+                QC_FATAL("--json requires a file path");
+            return argv[i + 1];
+        }
+    }
+    return "";
+}
+
+/** Open the --json output file, dying loudly on failure. */
+inline std::ofstream
+openJsonOut(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        QC_FATAL("cannot open JSON output file ", path);
+    return out;
+}
+
+} // namespace qc::bench
+
+#endif // QC_BENCH_BENCH_JSON_HPP

@@ -8,10 +8,13 @@
  * bundles; scheduling dominates the heuristics).
  *
  * QC_BENCH_SMT_TIMEOUT_MS (default 10000) bounds each Z3 solve.
+ * `--json out.json` writes the per-mapper stage seconds in the
+ * machine-readable envelope (bench/bench_json.hpp) CI archives.
  */
 
 #include <map>
 
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 #include "core/passes.hpp"
 
@@ -30,14 +33,24 @@ smtTimeoutMs()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     bench::banner("Pipeline stage breakdown (Table 2 set)",
                   bench::benchSeed());
+    const std::string json_path = bench::jsonOutPath(argc, argv);
 
     ExperimentEnv env(bench::benchSeed());
     auto machine =
         std::make_shared<const Machine>(env.machineForDay(0));
+
+    struct MapperStages
+    {
+        std::string mapper;
+        std::map<std::string, double> stageSeconds;
+        double total = 0.0;
+        int compiles = 0;
+    };
+    std::vector<MapperStages> rows;
 
     Table t({"Mapper", "placement s", "routing s", "scheduling s",
              "prediction s", "total s", "compiles"});
@@ -72,6 +85,8 @@ main()
                   Table::fmt(stage_seconds["prediction"]),
                   Table::fmt(total),
                   Table::fmt(static_cast<long long>(compiles))});
+        rows.push_back({pipeline.name(), stage_seconds, total,
+                        compiles});
     }
     t.print(std::cout);
     std::cout << "\nNote: the SMT bundles spend essentially all "
@@ -79,5 +94,44 @@ main()
                  "heuristic bundles compile in well under a "
                  "millisecond per program.\nStage wall times come "
                  "from the pipeline's StageTrace instrumentation.\n";
+
+    if (!json_path.empty()) {
+        std::ofstream out = bench::openJsonOut(json_path);
+        bench::JsonWriter w(out);
+        w.beginObject()
+            .field("schema_version", 1)
+            .field("bench", "pipeline_stages")
+            .field("seed", bench::benchSeed());
+        w.key("entries").beginArray();
+        for (const MapperStages &r : rows) {
+            w.beginObject().field("name", r.mapper);
+            w.key("metrics").beginObject();
+            for (const char *stage :
+                 {"placement", "routing", "scheduling", "prediction"})
+                w.field(std::string(stage) + "_s",
+                        r.stageSeconds.count(stage)
+                            ? r.stageSeconds.at(stage)
+                            : 0.0);
+            w.field("total_s", r.total)
+                .field("compiles", r.compiles)
+                .endObject();
+            w.endObject();
+        }
+        w.endArray();
+        double grand_total = 0.0;
+        int total_compiles = 0;
+        for (const MapperStages &r : rows) {
+            grand_total += r.total;
+            total_compiles += r.compiles;
+        }
+        w.key("totals")
+            .beginObject()
+            .field("total_s", grand_total)
+            .field("compiles", total_compiles)
+            .endObject();
+        w.endObject();
+        out << "\n";
+        std::cout << "wrote " << json_path << "\n";
+    }
     return 0;
 }

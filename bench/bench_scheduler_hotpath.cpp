@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Scheduling-stage hot-path benchmark: the indexed list scheduler
+ * (ReservationLedger + incremental ready-queue) against the legacy
+ * full-scan implementation (SchedulerOptions::referenceMode), on the
+ * Table 2 set and on large random programs (16-400+ gates) across
+ * machine sizes. Both implementations are run on every instance, the
+ * schedules are verified identical (exit 1 on any divergence — the
+ * CI perf job doubles as a correctness smoke), and per-instance wall
+ * seconds, makespan and swap counts are reported.
+ *
+ * `--json out.json` additionally writes the machine-readable envelope
+ * (bench/bench_json.hpp) that tools/bench_check.py gates CI on;
+ * refresh bench/baselines/scheduler.json from this output after
+ * intentional perf changes (see README "Performance").
+ */
+
+#include <chrono>
+#include <cstdlib>
+
+#include "bench_json.hpp"
+#include "bench_util.hpp"
+#include "machine/calibration_model.hpp"
+#include "mappers/greedy_mapper.hpp"
+#include "sched/list_scheduler.hpp"
+#include "workloads/random_circuits.hpp"
+
+using namespace qc;
+
+namespace {
+
+/** One benchmark instance: a circuit pinned to a machine + layout. */
+struct Instance
+{
+    std::string name;
+    std::string machineName;
+    GridTopology topo;
+    Circuit circuit;
+    std::vector<HwQubit> layout;
+    RoutingPolicy policy;
+    int reps; ///< timing repetitions (more for tiny circuits)
+};
+
+struct Result
+{
+    double referenceSeconds = 0.0;
+    double indexedSeconds = 0.0;
+    Timeslot makespan = 0;
+    int swaps = 0;
+    bool identical = true;
+};
+
+std::vector<HwQubit>
+scatterLayout(int n_prog, int n_hw)
+{
+    std::vector<HwQubit> layout(n_prog);
+    for (int q = 0; q < n_prog; ++q)
+        layout[q] = (q * 5) % n_hw; // injective: 5 coprime to 2^k
+    return layout;
+}
+
+/** Dense workload CNOT mix (see makeDenseCnotCircuit). */
+constexpr int kDenseCnotPermille = 600;
+
+double
+timeScheduler(const Machine &machine, const SchedulerOptions &opts,
+              const Circuit &circuit,
+              const std::vector<HwQubit> &layout, int reps,
+              Schedule &last)
+{
+    ListScheduler scheduler(machine, opts);
+    auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r)
+        last = scheduler.run(circuit, layout);
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count() / reps;
+}
+
+Result
+runInstance(const Instance &inst, std::uint64_t seed)
+{
+    CalibrationModel model(inst.topo, seed);
+    Machine machine(inst.topo, model.forDay(0));
+
+    SchedulerOptions opts;
+    opts.policy = inst.policy;
+    opts.select = RouteSelect::BestReliability;
+
+    Result res;
+    Schedule indexed, reference;
+    opts.referenceMode = false;
+    res.indexedSeconds = timeScheduler(machine, opts, inst.circuit,
+                                       inst.layout, inst.reps, indexed);
+    opts.referenceMode = true;
+    res.referenceSeconds = timeScheduler(machine, opts, inst.circuit,
+                                         inst.layout, inst.reps,
+                                         reference);
+    res.makespan = indexed.makespan;
+    res.swaps = indexed.swapCount();
+    res.identical = reference.identicalTo(indexed);
+    return res;
+}
+
+std::vector<Instance>
+buildInstances(std::uint64_t seed)
+{
+    std::vector<Instance> instances;
+
+    // Table 2 set under the GreedyE* placement on the paper machine.
+    {
+        GridTopology topo = GridTopology::ibmq16();
+        CalibrationModel model(topo, seed);
+        Machine machine(topo, model.forDay(0));
+        for (const Benchmark &b : paperBenchmarks()) {
+            Instance inst{"table2/" + b.name,
+                          topo.name(),
+                          topo,
+                          b.circuit,
+                          greedyEdgePlacement(machine, b.circuit),
+                          RoutingPolicy::OneBendPath,
+                          200};
+            instances.push_back(std::move(inst));
+        }
+    }
+
+    // Random programs across gate counts and machine sizes (the
+    // paper's Sec. 6 scalability axis: 16-400 gates here, uniform
+    // 1-in-7 CNOT mix plus dense 60%-CNOT stress variants).
+    struct RandomSpec
+    {
+        int rows, cols, qubits, gates, reps;
+        bool dense;
+        RoutingPolicy policy;
+    };
+    const RandomSpec specs[] = {
+        {2, 8, 8, 16, 400, false, RoutingPolicy::OneBendPath},
+        {2, 8, 12, 100, 100, false, RoutingPolicy::OneBendPath},
+        {2, 8, 16, 200, 40, false, RoutingPolicy::OneBendPath},
+        {2, 8, 16, 200, 40, true, RoutingPolicy::OneBendPath},
+        {2, 8, 16, 400, 20, true, RoutingPolicy::RectangleReservation},
+        {4, 8, 24, 200, 30, true, RoutingPolicy::OneBendPath},
+        {4, 8, 32, 400, 10, true, RoutingPolicy::OneBendPath},
+        {8, 8, 48, 400, 8, true, RoutingPolicy::OneBendPath},
+        {8, 8, 64, 400, 5, true, RoutingPolicy::RectangleReservation},
+        // Daily-recompilation scale: the reference scan's cost grows
+        // quadratically in committed reservations, so these are the
+        // entries the CI speedup gate actually watches.
+        {2, 8, 16, 2000, 10, true, RoutingPolicy::OneBendPath},
+        {4, 8, 32, 2000, 8, true, RoutingPolicy::OneBendPath},
+        {8, 8, 64, 1500, 8, true, RoutingPolicy::OneBendPath},
+        {8, 8, 64, 3000, 6, true, RoutingPolicy::RectangleReservation},
+    };
+    for (const RandomSpec &s : specs) {
+        GridTopology topo(s.rows, s.cols);
+        Circuit circuit =
+            s.dense ? makeDenseCnotCircuit(s.qubits, s.gates, seed,
+                                           kDenseCnotPermille)
+                    : makeRandomCircuit({s.qubits, s.gates, seed, true});
+        std::string name =
+            std::string(s.dense ? "dense" : "random") + "/" +
+            topo.name() + "_q" + std::to_string(s.qubits) + "_g" +
+            std::to_string(s.gates) + "_" +
+            routingPolicyName(s.policy);
+        Instance inst{std::move(name),
+                      topo.name(),
+                      topo,
+                      std::move(circuit),
+                      scatterLayout(s.qubits, topo.numQubits()),
+                      s.policy,
+                      s.reps};
+        instances.push_back(std::move(inst));
+    }
+    return instances;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::uint64_t seed = bench::benchSeed();
+    const std::string json_path = bench::jsonOutPath(argc, argv);
+
+    std::cout << "=== Scheduler hot path: indexed vs reference scan "
+                 "===\nseed "
+              << seed << "\n\n";
+
+    std::vector<Instance> instances = buildInstances(seed);
+    std::vector<Result> results;
+    results.reserve(instances.size());
+
+    Table t({"Instance", "gates", "ref s/run", "idx s/run", "speedup",
+             "makespan", "swaps", "identical"});
+    double total_ref = 0.0, total_idx = 0.0;
+    bool all_identical = true;
+    for (const Instance &inst : instances) {
+        Result r = runInstance(inst, seed);
+        total_ref += r.referenceSeconds;
+        total_idx += r.indexedSeconds;
+        all_identical = all_identical && r.identical;
+        t.addRow({inst.name,
+                  Table::fmt(static_cast<long long>(
+                      inst.circuit.size())),
+                  Table::fmt(r.referenceSeconds),
+                  Table::fmt(r.indexedSeconds),
+                  Table::fmt(r.referenceSeconds /
+                             std::max(r.indexedSeconds, 1e-12)),
+                  Table::fmt(static_cast<long long>(r.makespan)),
+                  Table::fmt(static_cast<long long>(r.swaps)),
+                  r.identical ? "yes" : "NO"});
+        results.push_back(r);
+    }
+    t.print(std::cout);
+    std::cout << "\ntotal scheduling seconds/run: reference "
+              << total_ref << ", indexed " << total_idx
+              << " (speedup "
+              << total_ref / std::max(total_idx, 1e-12) << "x)\n";
+    if (!all_identical)
+        std::cout << "ERROR: indexed scheduler diverged from the "
+                     "reference scan\n";
+
+    if (!json_path.empty()) {
+        std::ofstream out = bench::openJsonOut(json_path);
+        bench::JsonWriter w(out);
+        w.beginObject()
+            .field("schema_version", 1)
+            .field("bench", "scheduler_hotpath")
+            .field("seed", seed);
+        w.key("entries").beginArray();
+        for (size_t i = 0; i < instances.size(); ++i) {
+            const Instance &inst = instances[i];
+            const Result &r = results[i];
+            w.beginObject()
+                .field("name", inst.name)
+                .field("machine", inst.machineName)
+                .field("qubits", inst.circuit.numQubits())
+                .field("gates",
+                       static_cast<long long>(inst.circuit.size()))
+                .field("policy", routingPolicyName(inst.policy))
+                .field("reps", inst.reps);
+            w.key("metrics")
+                .beginObject()
+                .field("reference_s", r.referenceSeconds)
+                .field("indexed_s", r.indexedSeconds)
+                .field("speedup",
+                       r.referenceSeconds /
+                           std::max(r.indexedSeconds, 1e-12))
+                .field("makespan", static_cast<long long>(r.makespan))
+                .field("swaps", r.swaps)
+                .field("identical", r.identical ? 1 : 0)
+                .endObject();
+            w.endObject();
+        }
+        w.endArray();
+        w.key("totals")
+            .beginObject()
+            .field("reference_s", total_ref)
+            .field("indexed_s", total_idx)
+            .field("speedup", total_ref / std::max(total_idx, 1e-12))
+            .endObject();
+        w.endObject();
+        out << "\n";
+        std::cout << "wrote " << json_path << "\n";
+    }
+
+    return all_identical ? 0 : 1;
+}

@@ -93,7 +93,9 @@ standardPipeline(std::shared_ptr<const Machine> machine,
       case MapperKind::Qiskit:
         return builder.placement(passes::qiskitBaseline())
             .routing(passes::routeSelection(RoutingPolicy::OneBendPath,
-                                            RouteSelect::BestDuration))
+                                            RouteSelect::BestDuration,
+                                            true,
+                                            options.referenceScheduler))
             .build();
       case MapperKind::GreedyV:
       case MapperKind::GreedyE: {
@@ -106,7 +108,8 @@ standardPipeline(std::shared_ptr<const Machine> machine,
                            : passes::greedyEdge())
             .routing(passes::routeSelection(greedy.policy,
                                             greedy.select,
-                                            greedy.calibratedDurations))
+                                            greedy.calibratedDurations,
+                                            options.referenceScheduler))
             .build();
       }
       case MapperKind::GreedyETrack:
@@ -131,9 +134,11 @@ standardPipeline(std::shared_ptr<const Machine> machine,
         smt = effectiveSmtOptions(smt);
         return builder.placement(passes::smt(smt))
             .routing(passes::routeSelection(
-                smt.policy, smt.variant == SmtVariant::RSmtStar
-                                ? RouteSelect::BestReliability
-                                : RouteSelect::BestDuration))
+                smt.policy,
+                smt.variant == SmtVariant::RSmtStar
+                    ? RouteSelect::BestReliability
+                    : RouteSelect::BestDuration,
+                true, options.referenceScheduler))
             .named(smtMapperDisplayName(smt))
             .build();
       }

@@ -66,6 +66,13 @@ struct CompilerOptions
     double readoutWeight = 0.5;   ///< Eq. 12 omega (R-SMT*)
     unsigned smtTimeoutMs = 60'000;
     bool jointScheduling = true;  ///< full SMT formulation
+
+    /**
+     * Schedule with the legacy full-scan list scheduler instead of
+     * the indexed incremental one (bit-identical output; see
+     * SchedulerOptions::referenceMode). Testing/benchmarking knob.
+     */
+    bool referenceScheduler = false;
 };
 
 /**

@@ -129,9 +129,11 @@ class RouteSelectionPass : public RoutingPass
 {
   public:
     RouteSelectionPass(RoutingPolicy policy, RouteSelect select,
-                       bool calibrated_durations)
+                       bool calibrated_durations,
+                       bool reference_scheduler)
         : policy_(policy), select_(select),
-          calibratedDurations_(calibrated_durations)
+          calibratedDurations_(calibrated_durations),
+          referenceScheduler_(reference_scheduler)
     {
     }
 
@@ -154,6 +156,9 @@ class RouteSelectionPass : public RoutingPass
             opts.select = select_;
             ctx.addNote(routeSelectName(select_));
         }
+        opts.referenceMode = referenceScheduler_;
+        if (referenceScheduler_)
+            ctx.addNote("reference-scan scheduler");
         ctx.schedOptions = std::move(opts);
         return CompileStatus::success();
     }
@@ -162,6 +167,7 @@ class RouteSelectionPass : public RoutingPass
     RoutingPolicy policy_;
     RouteSelect select_;
     bool calibratedDurations_;
+    bool referenceScheduler_;
 };
 
 /** No precomputed routes: the tracking scheduler routes live. */
@@ -300,10 +306,11 @@ smt(SmtMapperOptions options)
 
 std::unique_ptr<RoutingPass>
 routeSelection(RoutingPolicy policy, RouteSelect select,
-               bool calibrated_durations)
+               bool calibrated_durations, bool reference_scheduler)
 {
     return std::make_unique<RouteSelectionPass>(policy, select,
-                                                calibrated_durations);
+                                                calibrated_durations,
+                                                reference_scheduler);
 }
 
 std::unique_ptr<RoutingPass>

@@ -43,11 +43,14 @@ std::unique_ptr<PlacementPass> smt(SmtMapperOptions options);
  * Standard route selection: reserve under `policy`; if the placement
  * stage fixed per-gate junctions (SMT solutions, Qiskit's row-first
  * routes) and the policy is 1BP, honor them, otherwise pick routes by
- * `select`.
+ * `select`. `reference_scheduler` pins the downstream list scheduler
+ * to its legacy full-scan implementation (the bit-identity oracle;
+ * see SchedulerOptions::referenceMode).
  */
 std::unique_ptr<RoutingPass>
 routeSelection(RoutingPolicy policy, RouteSelect select,
-               bool calibrated_durations = true);
+               bool calibrated_durations = true,
+               bool reference_scheduler = false);
 
 /**
  * Marker for schedulers that route live (the tracking router): the

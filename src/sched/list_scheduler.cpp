@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <limits>
+#include <queue>
+#include <utility>
 
 #include "ir/dag.hpp"
+#include "sched/reservation_ledger.hpp"
 #include "support/logging.hpp"
 
 namespace qc {
@@ -58,7 +61,7 @@ ListScheduler::chooseRoute(HwQubit c, HwQubit t, int gate_idx) const
 
 namespace {
 
-/** An active space-time reservation. */
+/** An active space-time reservation (reference-mode full scan). */
 struct Reservation
 {
     Region region;
@@ -126,82 +129,40 @@ ListScheduler::run(const Circuit &prog,
         preds_left[i] = static_cast<int>(dag.preds(static_cast<int>(i))
                                              .size());
 
-    std::vector<int> ready;
-    for (int r : dag.roots())
-        ready.push_back(r);
-
-    std::vector<Reservation> reservations;
-
-    auto feasible_start = [&](int gi) {
-        const GatePlan &plan = plans[gi];
-        Timeslot start = 0;
-        for (int p : dag.preds(gi))
-            start = std::max(start, gate_finish[p]);
-        for (HwQubit h : plan.touched)
-            start = std::max(start, qubit_avail[h]);
-        if (plan.routed) {
-            // Push past every spatially-overlapping reservation that
-            // would overlap in time (S(i,j) => !T(i,j), Eq. 7-9).
-            bool moved = true;
-            while (moved) {
-                moved = false;
-                for (const auto &res : reservations) {
-                    bool time_overlap = start < res.end &&
-                                        res.start < start + plan.duration;
-                    if (time_overlap &&
-                        plan.region.overlaps(res.region)) {
-                        start = res.end;
-                        moved = true;
-                    }
-                }
-            }
-        }
-        return start;
-    };
-
     Schedule sched;
     sched.numHwQubits = topo.numQubits();
     sched.macros.resize(n_gates);
     sched.qubitFinish.assign(topo.numQubits(), 0);
 
-    size_t scheduled = 0;
-    while (scheduled < n_gates) {
-        QC_ASSERT(!ready.empty(), "scheduler deadlock: no ready gates");
+    // Dependency/qubit lower bound on a ready gate's start time (the
+    // reservation constraints push routed gates past this).
+    auto lower_bound = [&](int gi) {
+        Timeslot start = 0;
+        for (int p : dag.preds(gi))
+            start = std::max(start, gate_finish[p]);
+        for (HwQubit h : plans[gi].touched)
+            start = std::max(start, qubit_avail[h]);
+        return start;
+    };
 
-        // Earliest-ready-gate-first: commit the ready gate with the
-        // smallest feasible start (ties: lowest index).
-        int best_gate = -1;
-        Timeslot best_start = std::numeric_limits<Timeslot>::max();
-        size_t best_pos = 0;
-        for (size_t k = 0; k < ready.size(); ++k) {
-            int gi = ready[k];
-            Timeslot s = feasible_start(gi);
-            if (s < best_start ||
-                (s == best_start && gi < best_gate)) {
-                best_start = s;
-                best_gate = gi;
-                best_pos = k;
-            }
-        }
-        ready.erase(ready.begin() + static_cast<long>(best_pos));
-
-        const Gate &g = prog.gate(best_gate);
-        const GatePlan &plan = plans[best_gate];
-        Timeslot start = best_start;
+    // Commit one gate at its feasible start: record macro timing,
+    // emit the timed hardware ops, advance the touched qubits.
+    auto commit = [&](int gi, Timeslot start) {
+        const Gate &g = prog.gate(gi);
+        const GatePlan &plan = plans[gi];
         Timeslot finish = start + plan.duration;
 
-        sched.macros[best_gate] = {best_gate, start, plan.duration};
-        gate_finish[best_gate] = finish;
+        sched.macros[gi] = {gi, start, plan.duration};
+        gate_finish[gi] = finish;
 
         if (plan.routed) {
-            reservations.push_back({plan.region, start, finish});
             for (const MicroOp &mop :
                  expandRoute(machine_, plan.route, uniform_cnot)) {
                 TimedOp top;
                 top.gate = mop.gate;
                 top.start = start + mop.offset;
                 top.duration = mop.duration;
-                top.progGate = best_gate;
+                top.progGate = gi;
                 top.isRouteSwap = mop.isRouteSwap;
                 sched.ops.push_back(top);
             }
@@ -211,19 +172,196 @@ ListScheduler::run(const Circuit &prog,
             top.gate.q0 = layout[g.q0];
             top.start = start;
             top.duration = plan.duration;
-            top.progGate = best_gate;
+            top.progGate = gi;
             sched.ops.push_back(top);
         }
 
         for (HwQubit h : plan.touched)
             qubit_avail[h] = finish;
         sched.makespan = std::max(sched.makespan, finish);
+        return finish;
+    };
 
-        for (int s : dag.succs(best_gate)) {
-            if (--preds_left[s] == 0)
-                ready.push_back(s);
+    if (options_.referenceMode) {
+        // ---- Reference implementation: full scans every iteration.
+        // Kept verbatim as the oracle the indexed path is tested
+        // against (bit-identity on every input).
+        std::vector<int> ready;
+        for (int r : dag.roots())
+            ready.push_back(r);
+
+        std::vector<Reservation> reservations;
+
+        auto feasible_start = [&](int gi) {
+            const GatePlan &plan = plans[gi];
+            Timeslot start = lower_bound(gi);
+            if (plan.routed) {
+                // Push past every spatially-overlapping reservation
+                // that would overlap in time (S(i,j) => !T(i,j),
+                // Eq. 7-9).
+                bool moved = true;
+                while (moved) {
+                    moved = false;
+                    for (const auto &res : reservations) {
+                        bool time_overlap =
+                            start < res.end &&
+                            res.start < start + plan.duration;
+                        if (time_overlap &&
+                            plan.region.overlaps(res.region)) {
+                            start = res.end;
+                            moved = true;
+                        }
+                    }
+                }
+            }
+            return start;
+        };
+
+        size_t scheduled = 0;
+        while (scheduled < n_gates) {
+            QC_ASSERT(!ready.empty(),
+                      "scheduler deadlock: no ready gates");
+
+            // Earliest-ready-gate-first: commit the ready gate with
+            // the smallest feasible start (ties: lowest index).
+            int best_gate = -1;
+            Timeslot best_start = std::numeric_limits<Timeslot>::max();
+            size_t best_pos = 0;
+            for (size_t k = 0; k < ready.size(); ++k) {
+                int gi = ready[k];
+                Timeslot s = feasible_start(gi);
+                if (s < best_start ||
+                    (s == best_start && gi < best_gate)) {
+                    best_start = s;
+                    best_gate = gi;
+                    best_pos = k;
+                }
+            }
+            ready.erase(ready.begin() + static_cast<long>(best_pos));
+
+            const GatePlan &plan = plans[best_gate];
+            Timeslot finish = commit(best_gate, best_start);
+            if (plan.routed)
+                reservations.push_back(
+                    {plan.region, best_start, finish});
+
+            for (int s : dag.succs(best_gate)) {
+                if (--preds_left[s] == 0)
+                    ready.push_back(s);
+            }
+            ++scheduled;
         }
-        ++scheduled;
+    } else {
+        // ---- Indexed implementation: same commit sequence, computed
+        // incrementally.
+        //
+        // Reservations live in a per-cell ledger instead of a flat
+        // history, and each ready gate's feasible start is cached:
+        // a commit only dirties the ready gates it can actually move
+        // (shared touched qubits, or — for routed gates — a spatially
+        // overlapping region). Everything else keeps its cached
+        // value, which stays exact because feasible starts depend
+        // only on predecessor finishes (fixed once ready), the
+        // touched qubits' availability, and spatially overlapping
+        // reservations.
+        //
+        // Selection uses a lazy min-heap keyed by (start, gate):
+        // cached values only grow, so a stale key is a lower bound;
+        // a clean popped entry is therefore the true lexicographic
+        // minimum — the same gate the reference scan commits.
+        //
+        // Commit starts are monotone non-decreasing (the minimum
+        // feasible start never shrinks as reservations accumulate),
+        // which is what lets the ledger clamp queries to the frontier
+        // and retire reservations behind it without changing any
+        // result.
+        ReservationLedger ledger(topo.rows(), topo.cols());
+
+        std::vector<Timeslot> cached(n_gates, 0);
+        std::vector<char> dirty(n_gates, 0);
+        std::vector<char> done(n_gates, 0);
+        std::vector<int> ready_list;
+        std::vector<int> ready_pos(n_gates, -1);
+        std::vector<int> qubit_mark(topo.numQubits(), -1);
+        int commit_serial = -1;
+
+        using HeapEntry = std::pair<Timeslot, int>;
+        std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                            std::greater<HeapEntry>>
+            heap;
+
+        auto recompute = [&](int gi) {
+            const GatePlan &plan = plans[gi];
+            Timeslot s = lower_bound(gi);
+            if (plan.routed)
+                s = ledger.feasibleStart(plan.region, plan.duration, s);
+            cached[gi] = s;
+        };
+        auto make_ready = [&](int gi) {
+            ready_pos[gi] = static_cast<int>(ready_list.size());
+            ready_list.push_back(gi);
+            recompute(gi);
+            heap.push({cached[gi], gi});
+        };
+        for (int r : dag.roots())
+            make_ready(r);
+
+        size_t scheduled = 0;
+        while (scheduled < n_gates) {
+            QC_ASSERT(!heap.empty(),
+                      "scheduler deadlock: no ready gates");
+            auto [key, gi] = heap.top();
+            heap.pop();
+            if (done[gi] || key != cached[gi])
+                continue; // superseded duplicate
+            if (dirty[gi]) {
+                dirty[gi] = 0;
+                recompute(gi);
+                heap.push({cached[gi], gi});
+                continue;
+            }
+
+            done[gi] = 1;
+            const int pos = ready_pos[gi];
+            const int back = ready_list.back();
+            ready_list[pos] = back;
+            ready_pos[back] = pos;
+            ready_list.pop_back();
+            ready_pos[gi] = -1;
+
+            const GatePlan &plan = plans[gi];
+            Timeslot finish = commit(gi, key);
+            ledger.advanceFrontier(key);
+            if (plan.routed)
+                ledger.reserve(plan.region, key, finish);
+
+            // Dirty exactly the ready gates this commit can move.
+            ++commit_serial;
+            for (HwQubit h : plan.touched)
+                qubit_mark[h] = commit_serial;
+            for (int g : ready_list) {
+                if (dirty[g])
+                    continue;
+                bool hit = false;
+                for (HwQubit h : plans[g].touched) {
+                    if (qubit_mark[h] == commit_serial) {
+                        hit = true;
+                        break;
+                    }
+                }
+                if (!hit && plan.routed && plans[g].routed &&
+                    plans[g].region.overlaps(plan.region))
+                    hit = true;
+                if (hit)
+                    dirty[g] = 1;
+            }
+
+            for (int s : dag.succs(gi)) {
+                if (--preds_left[s] == 0)
+                    make_ready(s);
+            }
+            ++scheduled;
+        }
     }
 
     // Last physical use of each qubit (macro windows are conservative

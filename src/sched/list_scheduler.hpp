@@ -7,6 +7,12 @@
  * time respecting data dependencies (constraint 3), expands routed
  * CNOTs into SWAP chains, and forbids CNOTs whose reserved regions
  * overlap from overlapping in time (constraints 7-9).
+ *
+ * Two interchangeable inner loops produce bit-identical schedules:
+ * the default indexed path (per-cell ReservationLedger + an
+ * incremental ready-queue that only recomputes gates a commit could
+ * move) and the legacy full-scan path behind
+ * SchedulerOptions::referenceMode, kept as the testing oracle.
  */
 
 #ifndef QC_SCHED_LIST_SCHEDULER_HPP
@@ -38,6 +44,16 @@ struct SchedulerOptions
      * (index into Machine::oneBendPath), -1 for non-CNOT gates.
      */
     std::vector<int> fixedJunctions;
+
+    /**
+     * Run the legacy O(steps x ready x reservations) scanning
+     * scheduler instead of the indexed incremental one. The two are
+     * bit-identical on every input (the indexed path computes the
+     * same fixed points and commits in the same order); the reference
+     * scan is kept as the oracle for equivalence testing and as the
+     * normalizing denominator in bench_scheduler_hotpath.
+     */
+    bool referenceMode = false;
 };
 
 /**

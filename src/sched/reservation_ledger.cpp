@@ -1,0 +1,112 @@
+#include "reservation_ledger.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace qc {
+
+ReservationLedger::ReservationLedger(int rows, int cols)
+    : rows_(rows), cols_(cols)
+{
+    QC_ASSERT(rows > 0 && cols > 0, "degenerate grid ", rows, "x",
+              cols);
+    byCell_.resize(static_cast<size_t>(rows) * cols);
+}
+
+void
+ReservationLedger::cellsOf(const Region &region,
+                           std::vector<int> &out) const
+{
+    out.clear();
+    for (const Rect &r : region.rects) {
+        // Out-of-grid rects would make the bucketed overlap test
+        // diverge from Region::overlaps (the reference semantics), so
+        // they are a hard error rather than something to clamp away.
+        QC_ASSERT(r.x0 >= 0 && r.x1 < rows_ && r.y0 >= 0 &&
+                      r.y1 < cols_,
+                  "reservation rect ", r.toString(),
+                  " outside the ", rows_, "x", cols_, " grid");
+        for (int x = r.x0; x <= r.x1; ++x)
+            for (int y = r.y0; y <= r.y1; ++y)
+                out.push_back(x * cols_ + y);
+    }
+}
+
+void
+ReservationLedger::reserve(const Region &region, Timeslot start,
+                           Timeslot end)
+{
+    if (end <= frontier_)
+        return; // born dead: can never constrain a future query
+    const int id = static_cast<int>(entries_.size());
+    entries_.push_back({start, end});
+    visitStamp_.push_back(0);
+    cellsOf(region, cellScratch_);
+    // A region's rects may share cells (1BP legs share the junction);
+    // duplicate bucket entries are harmless (the sweep stamp dedupes
+    // checks) but cheap to avoid for the common two-rect case.
+    std::sort(cellScratch_.begin(), cellScratch_.end());
+    cellScratch_.erase(
+        std::unique(cellScratch_.begin(), cellScratch_.end()),
+        cellScratch_.end());
+    for (int cell : cellScratch_)
+        byCell_[cell].push_back(id);
+}
+
+void
+ReservationLedger::advanceFrontier(Timeslot t)
+{
+    frontier_ = std::max(frontier_, t);
+}
+
+Timeslot
+ReservationLedger::feasibleStart(const Region &region,
+                                 Timeslot duration, Timeslot earliest)
+{
+    Timeslot start = std::max(earliest, frontier_);
+    cellsOf(region, cellScratch_);
+    bool moved = true;
+    while (moved) {
+        moved = false;
+        ++sweepSerial_;
+        for (int cell : cellScratch_) {
+            auto &bucket = byCell_[cell];
+            for (size_t i = 0; i < bucket.size();) {
+                const int id = bucket[i];
+                const Entry &e = entries_[id];
+                if (e.end <= frontier_) {
+                    // Retired: can never matter again; drop it from
+                    // this bucket (other buckets purge on their own
+                    // scans).
+                    bucket[i] = bucket.back();
+                    bucket.pop_back();
+                    continue;
+                }
+                if (visitStamp_[id] != sweepSerial_) {
+                    visitStamp_[id] = sweepSerial_;
+                    // Spatial overlap is implied: this entry's region
+                    // covers `cell`, which the candidate also covers.
+                    if (start < e.end && e.start < start + duration) {
+                        start = e.end;
+                        moved = true;
+                    }
+                }
+                ++i;
+            }
+        }
+    }
+    return start;
+}
+
+int
+ReservationLedger::liveCount() const
+{
+    int n = 0;
+    for (const Entry &e : entries_)
+        if (e.end > frontier_)
+            ++n;
+    return n;
+}
+
+} // namespace qc

@@ -38,10 +38,11 @@ Schedule::toHwCircuit(const std::string &name, int n_clbits) const
     // otherwise reject as mid-circuit measurement. The reordering is
     // semantics-preserving because routes always restore positions.
     Circuit hw(name, numHwQubits, n_clbits);
-    for (const auto &op : opsByStart())
+    const std::vector<TimedOp> sorted = opsByStart();
+    for (const auto &op : sorted)
         if (!op.gate.isMeasure())
             hw.add(op.gate);
-    for (const auto &op : opsByStart())
+    for (const auto &op : sorted)
         if (op.gate.isMeasure())
             hw.add(op.gate);
     return hw;
@@ -62,6 +63,33 @@ Schedule::coherenceViolations(const Calibration &cal,
             vs.push_back({h, last, limit});
     }
     return vs;
+}
+
+bool
+Schedule::identicalTo(const Schedule &other) const
+{
+    if (numHwQubits != other.numHwQubits ||
+        makespan != other.makespan ||
+        qubitFinish != other.qubitFinish ||
+        ops.size() != other.ops.size() ||
+        macros.size() != other.macros.size())
+        return false;
+    for (size_t i = 0; i < ops.size(); ++i) {
+        const TimedOp &a = ops[i];
+        const TimedOp &b = other.ops[i];
+        if (!(a.gate == b.gate) || a.start != b.start ||
+            a.duration != b.duration || a.progGate != b.progGate ||
+            a.isRouteSwap != b.isRouteSwap)
+            return false;
+    }
+    for (size_t i = 0; i < macros.size(); ++i) {
+        const MacroTiming &a = macros[i];
+        const MacroTiming &b = other.macros[i];
+        if (a.progGate != b.progGate || a.start != b.start ||
+            a.duration != b.duration)
+            return false;
+    }
+    return true;
 }
 
 std::vector<TimedOp>

@@ -82,6 +82,14 @@ struct Schedule
 
     /** All ops ordered by start time (stable on ties). */
     std::vector<TimedOp> opsByStart() const;
+
+    /**
+     * Exact field-by-field equality over every schedule artifact
+     * (ops, macros, makespan, qubitFinish) — the canonical
+     * bit-identity predicate used by bench_scheduler_hotpath's
+     * indexed-vs-reference verdict and the equivalence tests.
+     */
+    bool identicalTo(const Schedule &other) const;
 };
 
 } // namespace qc

@@ -45,4 +45,30 @@ makeRandomCircuit(const RandomCircuitSpec &spec)
     return c;
 }
 
+Circuit
+makeDenseCnotCircuit(int n_qubits, int n_gates, std::uint64_t seed,
+                     int cnot_permille)
+{
+    if (n_qubits < 2)
+        QC_FATAL("dense-CNOT circuits need at least 2 qubits");
+    Rng rng(seed, "dense-cnot");
+    Circuit c("dense_q" + std::to_string(n_qubits) + "_g" +
+                  std::to_string(n_gates),
+              n_qubits);
+    for (int i = 0; i < n_gates; ++i) {
+        if (rng.uniformInt(0, 999) < cnot_permille) {
+            int a = rng.uniformInt(0, n_qubits - 1);
+            int b = rng.uniformInt(0, n_qubits - 2);
+            if (b >= a)
+                ++b;
+            c.cnot(a, b);
+        } else {
+            c.h(rng.uniformInt(0, n_qubits - 1));
+        }
+    }
+    for (int q = 0; q < n_qubits; ++q)
+        c.measure(q, q);
+    return c;
+}
+
 } // namespace qc

@@ -31,6 +31,17 @@ struct RandomCircuitSpec
  */
 Circuit makeRandomCircuit(const RandomCircuitSpec &spec);
 
+/**
+ * CNOT-heavy random program: `cnot_permille`/1000 of the gates are
+ * CNOTs between uniformly drawn distinct qubits, the rest are H, and
+ * every qubit is measured at the end — far more routing pressure than
+ * the universal-set 1-in-7 CNOT mix of makeRandomCircuit. The
+ * scheduler hot-path bench and its bit-identity stress tests share
+ * this generator so the workloads cannot drift apart.
+ */
+Circuit makeDenseCnotCircuit(int n_qubits, int n_gates,
+                             std::uint64_t seed, int cnot_permille);
+
 } // namespace qc
 
 #endif // QC_WORKLOADS_RANDOM_CIRCUITS_HPP
