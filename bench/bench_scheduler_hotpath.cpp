@@ -34,7 +34,7 @@ struct Instance
 {
     std::string name;
     std::string machineName;
-    GridTopology topo;
+    Topology topo;
     Circuit circuit;
     std::vector<HwQubit> layout;
     RoutingPolicy policy;
@@ -167,6 +167,41 @@ buildInstances(std::uint64_t seed)
                       std::move(circuit),
                       scatterLayout(s.qubits, topo.numQubits()),
                       s.policy,
+                      s.reps};
+        instances.push_back(std::move(inst));
+    }
+
+    // Non-grid machines through the same per-qubit ledger: heavy-hex
+    // (IBM-style lattice) at two scales plus a ring, so the
+    // rebucketing is regression-gated off the grid too.
+    struct NonGridSpec
+    {
+        const char *spec;
+        int qubits, gates, reps;
+    };
+    const NonGridSpec ng_specs[] = {
+        {"heavyhex:3", 16, 400, 20},
+        {"heavyhex:5", 48, 1500, 8},
+        {"ring:16", 16, 1000, 10},
+    };
+    for (const NonGridSpec &s : ng_specs) {
+        Topology topo = topologyFromSpec(s.spec);
+        Circuit circuit = makeDenseCnotCircuit(s.qubits, s.gates, seed,
+                                               kDenseCnotPermille);
+        // Stride-7 scatter: coprime to every lattice size above (18,
+        // 55, 16), so the layout stays injective.
+        std::vector<HwQubit> layout(s.qubits);
+        for (int q = 0; q < s.qubits; ++q)
+            layout[q] = (q * 7) % topo.numQubits();
+        std::string name = "dense/" + topo.name() + "_q" +
+                           std::to_string(s.qubits) + "_g" +
+                           std::to_string(s.gates) + "_1BP";
+        Instance inst{std::move(name),
+                      topo.name(),
+                      topo,
+                      std::move(circuit),
+                      std::move(layout),
+                      RoutingPolicy::OneBendPath,
                       s.reps};
         instances.push_back(std::move(inst));
     }

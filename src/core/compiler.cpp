@@ -146,7 +146,7 @@ standardPipeline(std::shared_ptr<const Machine> machine,
     QC_PANIC("unknown mapper kind");
 }
 
-NoiseAdaptiveCompiler::NoiseAdaptiveCompiler(GridTopology topo,
+NoiseAdaptiveCompiler::NoiseAdaptiveCompiler(Topology topo,
                                              Calibration cal,
                                              CompilerOptions options)
     : NoiseAdaptiveCompiler(

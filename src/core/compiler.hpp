@@ -96,7 +96,7 @@ Pipeline standardPipeline(std::shared_ptr<const Machine> machine,
 class NoiseAdaptiveCompiler
 {
   public:
-    NoiseAdaptiveCompiler(GridTopology topo, Calibration cal,
+    NoiseAdaptiveCompiler(Topology topo, Calibration cal,
                           CompilerOptions options = {});
 
     /** Wrap an existing shared machine snapshot (never null). */

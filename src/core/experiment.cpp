@@ -2,7 +2,7 @@
 
 namespace qc {
 
-ExperimentEnv::ExperimentEnv(std::uint64_t seed, GridTopology topo,
+ExperimentEnv::ExperimentEnv(std::uint64_t seed, Topology topo,
                              CalibrationModelParams params)
     : seed_(seed), topo_(std::move(topo)), model_(topo_, seed, params)
 {

@@ -30,10 +30,10 @@ class ExperimentEnv
 {
   public:
     explicit ExperimentEnv(std::uint64_t seed,
-                           GridTopology topo = GridTopology::ibmq16(),
+                           Topology topo = GridTopology::ibmq16(),
                            CalibrationModelParams params = {});
 
-    const GridTopology &topo() const { return topo_; }
+    const Topology &topo() const { return topo_; }
     const CalibrationModel &calibrationModel() const { return model_; }
     std::uint64_t seed() const { return seed_; }
 
@@ -42,7 +42,7 @@ class ExperimentEnv
 
   private:
     std::uint64_t seed_;
-    GridTopology topo_;
+    Topology topo_;
     CalibrationModel model_;
 };
 

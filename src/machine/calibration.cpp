@@ -27,7 +27,7 @@ Calibration::readoutReliability(HwQubit h) const
 }
 
 void
-Calibration::validate(const GridTopology &topo) const
+Calibration::validate(const Topology &topo) const
 {
     const size_t nq = static_cast<size_t>(topo.numQubits());
     const size_t ne = static_cast<size_t>(topo.numEdges());
@@ -58,7 +58,7 @@ Calibration::validate(const GridTopology &topo) const
 }
 
 std::string
-Calibration::toString(const GridTopology &topo) const
+Calibration::toString(const Topology &topo) const
 {
     std::ostringstream oss;
     oss << "calibration day " << day << " for " << topo.name() << "\n";

@@ -47,10 +47,10 @@ struct Calibration
     double readoutReliability(HwQubit h) const;
 
     /** Validate vector arities and value ranges against a topology. */
-    void validate(const GridTopology &topo) const;
+    void validate(const Topology &topo) const;
 
     /** Human-readable per-element dump. */
-    std::string toString(const GridTopology &topo) const;
+    std::string toString(const Topology &topo) const;
 };
 
 } // namespace qc

@@ -8,7 +8,7 @@
 namespace qc {
 
 std::string
-saveCalibration(const Calibration &cal, const GridTopology &topo)
+saveCalibration(const Calibration &cal, const Topology &topo)
 {
     cal.validate(topo);
     std::ostringstream oss;
@@ -16,7 +16,14 @@ saveCalibration(const Calibration &cal, const GridTopology &topo)
     oss << "# noise-adaptive compiler calibration snapshot\n";
     oss << "calibration v1\n";
     oss << "day " << cal.day << "\n";
-    oss << "grid " << topo.rows() << " " << topo.cols() << "\n";
+    // Grids keep the original "grid R C" line (format compatibility);
+    // other topologies declare themselves by name + arity so a load
+    // against the wrong machine fails loudly.
+    if (topo.isGrid())
+        oss << "grid " << topo.rows() << " " << topo.cols() << "\n";
+    else
+        oss << "topology " << topo.name() << " " << topo.numQubits()
+            << " " << topo.numEdges() << "\n";
     oss << "oneq error " << cal.oneQubitError << " duration "
         << cal.oneQubitDuration << "\n";
     oss << "readout_duration " << cal.readoutDuration << "\n";
@@ -96,7 +103,7 @@ expectKeyword(const Line &line, size_t idx, const std::string &kw)
 } // namespace
 
 Calibration
-loadCalibration(const std::string &text, const GridTopology &topo)
+loadCalibration(const std::string &text, const Topology &topo)
 {
     const size_t nq = static_cast<size_t>(topo.numQubits());
     const size_t ne = static_cast<size_t>(topo.numEdges());
@@ -125,9 +132,22 @@ loadCalibration(const std::string &text, const GridTopology &topo)
         } else if (t[0] == "grid") {
             int rows = parseInt(line, 1);
             int cols = parseInt(line, 2);
-            if (rows != topo.rows() || cols != topo.cols())
+            if (!topo.isGrid() || rows != topo.rows() ||
+                cols != topo.cols())
                 QC_FATAL("calibration line ", line.number, ": grid ",
                          rows, "x", cols, " does not match topology ",
+                         topo.name());
+            grid_seen = true;
+        } else if (t[0] == "topology") {
+            if (t.size() < 4)
+                QC_FATAL("calibration line ", line.number,
+                         ": topology line wants NAME QUBITS EDGES");
+            if (t[1] != topo.name() ||
+                parseInt(line, 2) != topo.numQubits() ||
+                parseInt(line, 3) != topo.numEdges())
+                QC_FATAL("calibration line ", line.number,
+                         ": topology '", t[1],
+                         "' does not match machine topology ",
                          topo.name());
             grid_seen = true;
         } else if (t[0] == "oneq") {
@@ -181,7 +201,8 @@ loadCalibration(const std::string &text, const GridTopology &topo)
     if (!header_seen)
         QC_FATAL("calibration file missing 'calibration v1' header");
     if (!grid_seen)
-        QC_FATAL("calibration file missing 'grid' declaration");
+        QC_FATAL("calibration file missing 'grid'/'topology' "
+                 "declaration");
     for (size_t h = 0; h < nq; ++h)
         if (!qubit_seen[h])
             QC_FATAL("calibration file missing qubit ", h);

@@ -31,7 +31,7 @@ namespace qc {
 
 /** Serialize a calibration snapshot (validated first). */
 std::string saveCalibration(const Calibration &cal,
-                            const GridTopology &topo);
+                            const Topology &topo);
 
 /**
  * Parse a calibration file. The embedded grid dimensions must match
@@ -39,7 +39,7 @@ std::string saveCalibration(const Calibration &cal,
  * Throws FatalError with a line number on malformed input.
  */
 Calibration loadCalibration(const std::string &text,
-                            const GridTopology &topo);
+                            const Topology &topo);
 
 } // namespace qc
 

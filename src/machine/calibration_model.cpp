@@ -9,7 +9,7 @@
 
 namespace qc {
 
-CalibrationModel::CalibrationModel(GridTopology topo,
+CalibrationModel::CalibrationModel(Topology topo,
                                    std::uint64_t seed,
                                    CalibrationModelParams params)
     : topo_(std::move(topo)), seed_(seed), params_(params)

@@ -72,21 +72,21 @@ struct CalibrationModelParams
 class CalibrationModel
 {
   public:
-    CalibrationModel(GridTopology topo, std::uint64_t seed,
+    CalibrationModel(Topology topo, std::uint64_t seed,
                      CalibrationModelParams params = {});
 
     /** Generate (or recall) the calibration snapshot for a day >= 0. */
     Calibration forDay(int day) const;
 
     const CalibrationModelParams &params() const { return params_; }
-    const GridTopology &topology() const { return topo_; }
+    const Topology &topology() const { return topo_; }
 
   private:
     /** Per-element multiplicative drift factors for a given day. */
     std::vector<double> driftSeries(const std::string &stream, size_t n,
                                     int day) const;
 
-    GridTopology topo_;
+    Topology topo_;
     std::uint64_t seed_;
     CalibrationModelParams params_;
 

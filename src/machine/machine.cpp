@@ -9,7 +9,7 @@
 
 namespace qc {
 
-Machine::Machine(GridTopology topo, Calibration cal)
+Machine::Machine(Topology topo, Calibration cal)
     : topo_(std::move(topo)), cal_(std::move(cal))
 {
     cal_.validate(topo_);
@@ -24,7 +24,10 @@ Machine::Machine(GridTopology topo, Calibration cal)
         1, static_cast<Timeslot>(std::lround(
                sum / static_cast<double>(cal_.cnotDuration.size()))));
 
-    buildOneBendPaths();
+    if (topo_.isGrid())
+        buildOneBendPaths();
+    else
+        buildShortestCandidatePaths();
     buildDijkstra();
 }
 
@@ -113,6 +116,53 @@ Machine::buildOneBendPaths()
                 if (routes[1].nodes == routes[0].nodes)
                     routes.pop_back();
             }
+        }
+    }
+}
+
+void
+Machine::buildShortestCandidatePaths()
+{
+    const int n = topo_.numQubits();
+    obp_.assign(static_cast<size_t>(n) * n, {});
+
+    // Deterministic shortest-path walk from c to t: at every node,
+    // step to the extreme-id neighbor that strictly decreases the
+    // BFS distance to t. `smallest` picks the lexicographically
+    // minimal shortest path, !smallest the maximal one — up to two
+    // distinct candidates, mirroring the grid's two junctions.
+    auto walk = [&](HwQubit c, HwQubit t, bool smallest) {
+        std::vector<HwQubit> nodes{c};
+        HwQubit cur = c;
+        while (cur != t) {
+            HwQubit next = kInvalidQubit;
+            for (HwQubit v : topo_.neighbors(cur)) {
+                if (topo_.distance(v, t) != topo_.distance(cur, t) - 1)
+                    continue;
+                if (next == kInvalidQubit || (smallest ? v < next
+                                                       : v > next))
+                    next = v;
+            }
+            QC_ASSERT(next != kInvalidQubit,
+                      "BFS walk stuck between qubits ", c, " and ", t);
+            nodes.push_back(next);
+            cur = next;
+        }
+        return nodes;
+    };
+
+    for (HwQubit c = 0; c < n; ++c) {
+        for (HwQubit t = 0; t < n; ++t) {
+            if (c == t)
+                continue;
+            auto &routes = obp_[static_cast<size_t>(c) * n + t];
+            std::vector<HwQubit> lo = walk(c, t, true);
+            std::vector<HwQubit> hi = walk(c, t, false);
+            bool same = lo == hi;
+            routes.push_back(makeRoute(std::move(lo), kInvalidQubit));
+            if (!same)
+                routes.push_back(
+                    makeRoute(std::move(hi), kInvalidQubit));
         }
     }
 }

@@ -60,19 +60,27 @@ struct RoutePath
 class Machine
 {
   public:
-    Machine(GridTopology topo, Calibration cal);
+    Machine(Topology topo, Calibration cal);
 
-    const GridTopology &topo() const { return topo_; }
+    const Topology &topo() const { return topo_; }
     const Calibration &cal() const { return cal_; }
     int numQubits() const { return topo_.numQubits(); }
 
-    /** @name One-bend paths (1BP routing policy)
+    /** @name Candidate routes (1BP routing policy)
+     *
+     * On grids these are the paper's one-bend paths. On non-grid
+     * topologies "one bend" has no meaning, so each pair instead
+     * carries up to two shortest paths under deterministic
+     * lexicographic tie-breaking (smallest-id and largest-id
+     * neighbor walks) — the same 1-or-2-candidate shape every
+     * consumer (route selection, SMT junction variables, Fixed
+     * replay) already handles.
      *  @{ */
 
-    /** Number of distinct one-bend routes between c and t (1 or 2). */
+    /** Number of distinct candidate routes between c and t (1 or 2). */
     int numOneBendPaths(HwQubit c, HwQubit t) const;
 
-    /** The j-th one-bend route, j in [0, numOneBendPaths). */
+    /** The j-th candidate route, j in [0, numOneBendPaths). */
     const RoutePath &oneBendPath(HwQubit c, HwQubit t, int j) const;
 
     /** Most reliable one-bend route (R-SMT*'s EC junction choice). */
@@ -132,7 +140,7 @@ class Machine
     /** Hardware qubits sorted by descending readout reliability. */
     std::vector<HwQubit> qubitsByReadoutReliability() const;
 
-    /** Grid distance shortcut. */
+    /** Hop-distance shortcut. */
     int distance(HwQubit a, HwQubit b) const
     {
         return topo_.distance(a, b);
@@ -141,9 +149,10 @@ class Machine
   private:
     RoutePath makeRoute(std::vector<HwQubit> nodes, HwQubit junction) const;
     void buildOneBendPaths();
+    void buildShortestCandidatePaths();
     void buildDijkstra();
 
-    GridTopology topo_;
+    Topology topo_;
     Calibration cal_;
     Timeslot uniformCnotDuration_;
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "support/logging.hpp"
+
 namespace qc {
 
 Rect
@@ -37,23 +39,62 @@ Rect::toString() const
     return oss.str();
 }
 
+Region
+Region::fromQubits(std::vector<HwQubit> qs)
+{
+    std::sort(qs.begin(), qs.end());
+    qs.erase(std::unique(qs.begin(), qs.end()), qs.end());
+    Region r;
+    r.qubits = std::move(qs);
+    return r;
+}
+
 bool
 Region::overlaps(const Region &other) const
 {
-    for (const auto &a : rects)
-        for (const auto &b : other.rects)
-            if (a.overlaps(b))
-                return true;
+    // Sorted two-pointer intersection test.
+    size_t i = 0, j = 0;
+    while (i < qubits.size() && j < other.qubits.size()) {
+        if (qubits[i] == other.qubits[j])
+            return true;
+        if (qubits[i] < other.qubits[j])
+            ++i;
+        else
+            ++j;
+    }
     return false;
 }
 
 bool
-Region::contains(GridPos p) const
+Region::contains(HwQubit h) const
 {
-    for (const auto &r : rects)
-        if (r.contains(p))
-            return true;
-    return false;
+    return std::binary_search(qubits.begin(), qubits.end(), h);
+}
+
+std::vector<HwQubit>
+rectQubits(const Topology &topo, const Rect &r)
+{
+    QC_ASSERT(r.x0 >= 0 && r.x1 < topo.rows() && r.y0 >= 0 &&
+                  r.y1 < topo.cols(),
+              "rect ", r.toString(), " outside the ", topo.name(),
+              " grid");
+    std::vector<HwQubit> qs;
+    qs.reserve(static_cast<size_t>(r.area()));
+    for (int x = r.x0; x <= r.x1; ++x)
+        for (int y = r.y0; y <= r.y1; ++y)
+            qs.push_back(topo.qubitAt(x, y));
+    return qs;
+}
+
+Region
+regionFromRects(const Topology &topo, const std::vector<Rect> &rects)
+{
+    std::vector<HwQubit> qs;
+    for (const Rect &r : rects) {
+        std::vector<HwQubit> cover = rectQubits(topo, r);
+        qs.insert(qs.end(), cover.begin(), cover.end());
+    }
+    return Region::fromQubits(std::move(qs));
 }
 
 } // namespace qc

@@ -2,10 +2,18 @@
  * @file
  * Spatial reservation geometry for CNOT routing (paper Sec. 4.3).
  *
- * Rectangle Reservation (RR) blocks the full bounding box of a CNOT's
- * endpoints for its duration; One-Bend Paths (1BP) block only the two
- * leg segments through the chosen junction. Two CNOTs may overlap in
- * time only if their regions do not overlap in space (Eq. 7-9).
+ * A Region is the set of hardware qubits a routed CNOT reserves for
+ * its duration; two CNOTs may overlap in time only if their regions
+ * share no qubit (the paper's S(Ri, Rj) predicate, Eq. 7-9, holds
+ * exactly when the covered cell sets intersect, so the qubit-set
+ * formulation generalizes the rectangle test to arbitrary coupling
+ * graphs without changing it on grids).
+ *
+ * On grid topologies regions are still built from the paper's
+ * rectangles — Rectangle Reservation (RR) blocks the full bounding
+ * box of a CNOT's endpoints, One-Bend Paths (1BP) block only the two
+ * leg segments through the chosen junction — via regionFromRects,
+ * which produces the identical qubit footprint.
  */
 
 #ifndef QC_ROUTE_REGION_HPP
@@ -18,7 +26,7 @@
 
 namespace qc {
 
-/** Inclusive axis-aligned grid rectangle. */
+/** Inclusive axis-aligned grid rectangle (grid-topology geometry). */
 struct Rect
 {
     int x0 = 0;
@@ -39,18 +47,38 @@ struct Rect
     std::string toString() const;
 };
 
-/** Union of rectangles reserved by one routed CNOT. */
+/**
+ * Qubit-set footprint reserved by one routed CNOT.
+ *
+ * `qubits` is sorted and duplicate-free (the factory functions
+ * guarantee it); overlap is sorted-set intersection.
+ */
 struct Region
 {
-    std::vector<Rect> rects;
+    std::vector<HwQubit> qubits;
 
-    /** Pairwise rect overlap — the 1BP Overlap(i, j) check (Eq. 9). */
+    /** Sort + dedupe an arbitrary qubit list into a Region. */
+    static Region fromQubits(std::vector<HwQubit> qs);
+
+    /** Shared-qubit test — the generalized Overlap(i, j) (Eq. 9). */
     bool overlaps(const Region &other) const;
 
-    bool contains(GridPos p) const;
+    bool contains(HwQubit h) const;
 
-    bool empty() const { return rects.empty(); }
+    bool empty() const { return qubits.empty(); }
 };
+
+/** All qubit ids covered by `r` on a grid topology, row-major. */
+std::vector<HwQubit> rectQubits(const Topology &topo, const Rect &r);
+
+/**
+ * The grid specialization: the union-of-rectangles footprint. Two
+ * regions built this way overlap exactly when some pair of their
+ * rects overlaps (inclusive rectangles intersect iff they share a
+ * cell), so reservations are bit-identical to the rect formulation.
+ */
+Region regionFromRects(const Topology &topo,
+                       const std::vector<Rect> &rects);
 
 } // namespace qc
 

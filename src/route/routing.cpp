@@ -27,33 +27,31 @@ routeSelectName(RouteSelect s)
 }
 
 Region
-routeRegion(const GridTopology &topo, const RoutePath &route,
+routeRegion(const Topology &topo, const RoutePath &route,
             RoutingPolicy policy)
 {
     QC_ASSERT(route.nodes.size() >= 2, "route too short for a region");
-    Region region;
+
+    // Non-grid topologies have no bounding boxes: both policies
+    // reserve the route's node set, the tightest conservative cover.
+    if (!topo.isGrid())
+        return Region::fromQubits(route.nodes);
+
     GridPos pc = topo.posOf(route.nodes.front());
     GridPos pt = topo.posOf(route.nodes.back());
 
-    if (policy == RoutingPolicy::RectangleReservation) {
-        region.rects.push_back(Rect::spanning(pc, pt));
-        return region;
-    }
+    if (policy == RoutingPolicy::RectangleReservation)
+        return regionFromRects(topo, {Rect::spanning(pc, pt)});
 
     if (route.junction != kInvalidQubit) {
         // One-bend route: a rectangle (degenerate line) per leg.
         GridPos pj = topo.posOf(route.junction);
-        region.rects.push_back(Rect::spanning(pc, pj));
-        region.rects.push_back(Rect::spanning(pj, pt));
-        return region;
+        return regionFromRects(
+            topo, {Rect::spanning(pc, pj), Rect::spanning(pj, pt)});
     }
 
     // Arbitrary (Dijkstra) path: cover each node cell.
-    for (HwQubit h : route.nodes) {
-        GridPos p = topo.posOf(h);
-        region.rects.push_back(Rect::spanning(p, p));
-    }
-    return region;
+    return Region::fromQubits(route.nodes);
 }
 
 std::vector<MicroOp>

@@ -39,11 +39,15 @@ const char *routeSelectName(RouteSelect s);
 /**
  * Region reserved by a route under a policy.
  *
- * RR uses the endpoints' bounding rectangle regardless of the actual
- * path; 1BP uses one rectangle per path leg (for Dijkstra paths, one
- * cell-rectangle per node, the tightest conservative cover).
+ * On grids, RR uses the endpoints' bounding rectangle regardless of
+ * the actual path and 1BP uses one rectangle per path leg (for
+ * Dijkstra paths, one cell-rectangle per node, the tightest
+ * conservative cover) — footprints identical to the paper's rect
+ * formulation. On non-grid topologies a bounding box does not exist,
+ * so both policies reserve the route's node set (the tightest
+ * conservative cover of the SWAP chain).
  */
-Region routeRegion(const GridTopology &topo, const RoutePath &route,
+Region routeRegion(const Topology &topo, const RoutePath &route,
                    RoutingPolicy policy);
 
 /**

@@ -275,7 +275,7 @@ ListScheduler::run(const Circuit &prog,
         // which is what lets the ledger clamp queries to the frontier
         // and retire reservations behind it without changing any
         // result.
-        ReservationLedger ledger(topo.rows(), topo.cols());
+        ReservationLedger ledger(topo.numQubits());
 
         std::vector<Timeslot> cached(n_gates, 0);
         std::vector<char> dirty(n_gates, 0);

@@ -6,31 +6,23 @@
 
 namespace qc {
 
-ReservationLedger::ReservationLedger(int rows, int cols)
-    : rows_(rows), cols_(cols)
+ReservationLedger::ReservationLedger(int num_qubits)
+    : numQubits_(num_qubits)
 {
-    QC_ASSERT(rows > 0 && cols > 0, "degenerate grid ", rows, "x",
-              cols);
-    byCell_.resize(static_cast<size_t>(rows) * cols);
+    QC_ASSERT(num_qubits > 0, "degenerate machine with ", num_qubits,
+              " qubits");
+    byQubit_.resize(static_cast<size_t>(num_qubits));
 }
 
 void
-ReservationLedger::cellsOf(const Region &region,
-                           std::vector<int> &out) const
+ReservationLedger::checkRegion(const Region &region) const
 {
-    out.clear();
-    for (const Rect &r : region.rects) {
-        // Out-of-grid rects would make the bucketed overlap test
-        // diverge from Region::overlaps (the reference semantics), so
-        // they are a hard error rather than something to clamp away.
-        QC_ASSERT(r.x0 >= 0 && r.x1 < rows_ && r.y0 >= 0 &&
-                      r.y1 < cols_,
-                  "reservation rect ", r.toString(),
-                  " outside the ", rows_, "x", cols_, " grid");
-        for (int x = r.x0; x <= r.x1; ++x)
-            for (int y = r.y0; y <= r.y1; ++y)
-                out.push_back(x * cols_ + y);
-    }
+    // Out-of-range qubits would make the bucketed overlap test
+    // diverge from Region::overlaps (the reference semantics), so
+    // they are a hard error rather than something to clamp away.
+    for (HwQubit h : region.qubits)
+        QC_ASSERT(h >= 0 && h < numQubits_, "reservation qubit ", h,
+                  " outside the ", numQubits_, "-qubit machine");
 }
 
 void
@@ -39,19 +31,14 @@ ReservationLedger::reserve(const Region &region, Timeslot start,
 {
     if (end <= frontier_)
         return; // born dead: can never constrain a future query
+    checkRegion(region);
     const int id = static_cast<int>(entries_.size());
     entries_.push_back({start, end});
     visitStamp_.push_back(0);
-    cellsOf(region, cellScratch_);
-    // A region's rects may share cells (1BP legs share the junction);
-    // duplicate bucket entries are harmless (the sweep stamp dedupes
-    // checks) but cheap to avoid for the common two-rect case.
-    std::sort(cellScratch_.begin(), cellScratch_.end());
-    cellScratch_.erase(
-        std::unique(cellScratch_.begin(), cellScratch_.end()),
-        cellScratch_.end());
-    for (int cell : cellScratch_)
-        byCell_[cell].push_back(id);
+    // Region qubit sets are sorted and unique by construction, so
+    // each bucket sees this entry exactly once.
+    for (HwQubit h : region.qubits)
+        byQubit_[h].push_back(id);
 }
 
 void
@@ -65,13 +52,13 @@ ReservationLedger::feasibleStart(const Region &region,
                                  Timeslot duration, Timeslot earliest)
 {
     Timeslot start = std::max(earliest, frontier_);
-    cellsOf(region, cellScratch_);
+    checkRegion(region);
     bool moved = true;
     while (moved) {
         moved = false;
         ++sweepSerial_;
-        for (int cell : cellScratch_) {
-            auto &bucket = byCell_[cell];
+        for (HwQubit h : region.qubits) {
+            auto &bucket = byQubit_[h];
             for (size_t i = 0; i < bucket.size();) {
                 const int id = bucket[i];
                 const Entry &e = entries_[id];
@@ -86,7 +73,7 @@ ReservationLedger::feasibleStart(const Region &region,
                 if (visitStamp_[id] != sweepSerial_) {
                     visitStamp_[id] = sweepSerial_;
                     // Spatial overlap is implied: this entry's region
-                    // covers `cell`, which the candidate also covers.
+                    // covers qubit h, which the candidate also covers.
                     if (start < e.end && e.start < start + duration) {
                         start = e.end;
                         moved = true;

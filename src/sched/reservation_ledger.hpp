@@ -7,11 +7,14 @@
  * against the full history). The ledger replaces that scan with two
  * structural facts:
  *
- *  - Two inclusive grid rectangles overlap iff they share a grid
- *    cell, so bucketing each reservation under every cell its region
- *    covers makes "spatially overlapping reservations" a bucket
- *    lookup over the candidate's own cells — no geometry tests on
- *    unrelated reservations.
+ *  - Two regions overlap iff they share a qubit (Region is a
+ *    qubit-set footprint), so bucketing each reservation under every
+ *    qubit its region covers makes "spatially overlapping
+ *    reservations" a bucket lookup over the candidate's own qubits —
+ *    no set-intersection tests on unrelated reservations. On grid
+ *    topologies qubits are grid cells, so this is exactly the
+ *    historical per-cell bucketing; on arbitrary coupling graphs it
+ *    works unchanged.
  *
  *  - List-scheduling commit times are monotone non-decreasing (the
  *    scheduler always commits the minimum feasible start among ready
@@ -23,7 +26,8 @@
  * computes — the minimal feasible start is unique (every push past an
  * overlapping reservation is forced), so the two implementations are
  * bit-identical; tests/test_scheduler_hotpath.cpp asserts this across
- * every mapper bundle and randomized dense-CNOT programs.
+ * every mapper bundle, randomized dense-CNOT programs, and non-grid
+ * topologies.
  */
 
 #ifndef QC_SCHED_RESERVATION_LEDGER_HPP
@@ -37,14 +41,14 @@
 namespace qc {
 
 /**
- * Active space-time reservations, bucketed per grid cell behind a
- * monotone retirement frontier.
+ * Active space-time reservations, bucketed per hardware qubit behind
+ * a monotone retirement frontier.
  */
 class ReservationLedger
 {
   public:
-    /** @param rows,cols grid extents of the machine topology */
-    ReservationLedger(int rows, int cols);
+    /** @param num_qubits qubit count of the machine topology */
+    explicit ReservationLedger(int num_qubits);
 
     /** Record a reservation of `region` over [start, end). */
     void reserve(const Region &region, Timeslot start, Timeslot end);
@@ -85,17 +89,15 @@ class ReservationLedger
         Timeslot end;
     };
 
-    /** Append the grid-cell ids covered by `region` to `out`. */
-    void cellsOf(const Region &region, std::vector<int> &out) const;
+    /** Bounds-check `region` against the machine's qubit range. */
+    void checkRegion(const Region &region) const;
 
-    int rows_;
-    int cols_;
+    int numQubits_;
     Timeslot frontier_ = 0;
     std::vector<Entry> entries_;
-    std::vector<std::vector<int>> byCell_; ///< cell -> entry ids
-    std::vector<int> visitStamp_;          ///< entry id -> sweep serial
+    std::vector<std::vector<int>> byQubit_; ///< qubit -> entry ids
+    std::vector<int> visitStamp_;           ///< entry id -> sweep serial
     int sweepSerial_ = 0;
-    std::vector<int> cellScratch_;
 };
 
 } // namespace qc

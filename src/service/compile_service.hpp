@@ -55,7 +55,7 @@ struct CompileRequest
     std::string tag;        ///< caller's label, echoed in the result
     int day = 0;            ///< calibration day (reports only)
     Circuit circuit;
-    GridTopology topo = GridTopology::ibmq16();
+    Topology topo = GridTopology::ibmq16();
     Calibration cal;
     CompilerOptions options;
 };

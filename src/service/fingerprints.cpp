@@ -21,11 +21,19 @@ fingerprintCircuit(const Circuit &circuit)
 }
 
 std::uint64_t
-fingerprintTopology(const GridTopology &topo)
+fingerprintTopology(const Topology &topo)
 {
+    // Kind tag + qubit count + the canonical (a < b, id-ordered)
+    // edge list. Mixing only grid extents used to alias any two
+    // topologies with equal qubit counts (e.g. ring:8 vs linear:8 vs
+    // grid:2x4) into one machine-pool/compile-cache key; the full
+    // coupling graph is the identity.
     Fingerprint fp;
     fp.mix(std::uint64_t{0x7090}); // domain tag
-    fp.mix(topo.rows()).mix(topo.cols());
+    fp.mix(static_cast<int>(topo.kind())).mix(topo.numQubits());
+    fp.mix(static_cast<std::uint64_t>(topo.numEdges()));
+    for (const CouplingEdge &e : topo.edges())
+        fp.mix(e.a).mix(e.b);
     return fp.value();
 }
 
@@ -62,7 +70,7 @@ fingerprintOptions(const CompilerOptions &options)
 }
 
 std::uint64_t
-machineKey(const GridTopology &topo, const Calibration &cal)
+machineKey(const Topology &topo, const Calibration &cal)
 {
     Fingerprint fp;
     fp.mix(fingerprintTopology(topo)).mix(fingerprintCalibration(cal));

@@ -24,8 +24,8 @@ namespace qc::service {
 /** Gate-exact circuit fingerprint (name excluded: content only). */
 std::uint64_t fingerprintCircuit(const Circuit &circuit);
 
-/** Grid-shape fingerprint. */
-std::uint64_t fingerprintTopology(const GridTopology &topo);
+/** Topology fingerprint: kind tag + canonical edge list. */
+std::uint64_t fingerprintTopology(const Topology &topo);
 
 /** Full calibration-snapshot fingerprint (all per-element data). */
 std::uint64_t fingerprintCalibration(const Calibration &cal);
@@ -34,7 +34,7 @@ std::uint64_t fingerprintCalibration(const Calibration &cal);
 std::uint64_t fingerprintOptions(const CompilerOptions &options);
 
 /** Combined (topology, calibration) key for the machine pool. */
-std::uint64_t machineKey(const GridTopology &topo,
+std::uint64_t machineKey(const Topology &topo,
                          const Calibration &cal);
 
 } // namespace qc::service

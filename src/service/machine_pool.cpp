@@ -35,7 +35,7 @@ MachinePool::touchLocked(std::uint64_t key)
 }
 
 std::shared_ptr<const Machine>
-MachinePool::acquire(const GridTopology &topo, const Calibration &cal)
+MachinePool::acquire(const Topology &topo, const Calibration &cal)
 {
     const std::uint64_t key = machineKey(topo, cal);
 
@@ -82,7 +82,7 @@ MachinePool::acquire(const GridTopology &topo, const Calibration &cal)
 }
 
 std::shared_ptr<const Machine>
-MachinePool::tryAcquire(const GridTopology &topo,
+MachinePool::tryAcquire(const Topology &topo,
                         const Calibration &cal)
 {
     const std::uint64_t key = machineKey(topo, cal);

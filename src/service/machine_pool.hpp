@@ -59,7 +59,7 @@ class MachinePool
      * The returned pointer is never null and stays valid for the
      * caller's lifetime regardless of eviction or clear().
      */
-    std::shared_ptr<const Machine> acquire(const GridTopology &topo,
+    std::shared_ptr<const Machine> acquire(const Topology &topo,
                                            const Calibration &cal);
 
     /**
@@ -67,7 +67,7 @@ class MachinePool
      * building one — for callers who only want it if it's cheap
      * (e.g. the compile-cache hit path).
      */
-    std::shared_ptr<const Machine> tryAcquire(const GridTopology &topo,
+    std::shared_ptr<const Machine> tryAcquire(const Topology &topo,
                                               const Calibration &cal);
 
     /** Number of snapshots currently pooled. */

@@ -79,8 +79,14 @@ solveSmtMapping(const Machine &machine, const Circuit &prog,
 {
     const auto &topo = machine.topo();
     const auto &cal = machine.cal();
-    const int rows = topo.rows();
-    const int cols = topo.cols();
+    // Grids keep the paper's (x, y) coordinate encoding — rectangle
+    // overlap is expressible symbolically (Eq. 7) and the historical
+    // models stay bit-identical. Non-grid topologies use a single
+    // location variable per program qubit; their routing non-overlap
+    // is relaxed (see the non-overlap section below).
+    const bool grid_encoding = topo.isGrid();
+    const int rows = grid_encoding ? topo.rows() : 0;
+    const int cols = grid_encoding ? topo.cols() : 0;
     const int n_hw = topo.numQubits();
     const int n_prog = prog.numQubits();
 
@@ -107,23 +113,53 @@ solveSmtMapping(const Machine &machine, const Circuit &prog,
     };
 
     // ---- Mapping variables and constraints 1-2 -------------------
-    std::vector<z3::expr> qx, qy;
-    for (int q = 0; q < n_prog; ++q) {
-        qx.push_back(
-            ctx.int_const(("x_" + std::to_string(q)).c_str()));
-        qy.push_back(
-            ctx.int_const(("y_" + std::to_string(q)).c_str()));
-        solver.add(qx[q] >= 0 && qx[q] < rows);
-        solver.add(qy[q] >= 0 && qy[q] < cols);
+    std::vector<z3::expr> qx, qy;  // grid encoding
+    std::vector<z3::expr> qloc;    // non-grid encoding
+    if (grid_encoding) {
+        for (int q = 0; q < n_prog; ++q) {
+            qx.push_back(
+                ctx.int_const(("x_" + std::to_string(q)).c_str()));
+            qy.push_back(
+                ctx.int_const(("y_" + std::to_string(q)).c_str()));
+            solver.add(qx[q] >= 0 && qx[q] < rows);
+            solver.add(qy[q] >= 0 && qy[q] < cols);
+        }
+        for (int a = 0; a < n_prog; ++a)
+            for (int b = a + 1; b < n_prog; ++b)
+                solver.add(qx[a] != qx[b] || qy[a] != qy[b]);
+    } else {
+        for (int q = 0; q < n_prog; ++q) {
+            qloc.push_back(
+                ctx.int_const(("loc_" + std::to_string(q)).c_str()));
+            solver.add(qloc[q] >= 0 && qloc[q] < n_hw);
+        }
+        for (int a = 0; a < n_prog; ++a)
+            for (int b = a + 1; b < n_prog; ++b)
+                solver.add(qloc[a] != qloc[b]);
     }
-    for (int a = 0; a < n_prog; ++a)
-        for (int b = a + 1; b < n_prog; ++b)
-            solver.add(qx[a] != qx[b] || qy[a] != qy[b]);
 
     // Location predicate: program qubit q sits on hardware qubit h.
     auto at = [&](int q, HwQubit h) {
+        if (!grid_encoding)
+            return qloc[q] == h;
         GridPos p = topo.posOf(h);
         return qx[q] == p.x && qy[q] == p.y;
+    };
+
+    // Read a placement back out of a model (either encoding).
+    auto layout_of = [&](z3::model &m) {
+        std::vector<HwQubit> layout(n_prog, kInvalidQubit);
+        for (int q = 0; q < n_prog; ++q) {
+            if (grid_encoding) {
+                int x = m.eval(qx[q], true).get_numeral_int();
+                int y = m.eval(qy[q], true).get_numeral_int();
+                layout[q] = topo.qubitAt(x, y);
+            } else {
+                layout[q] =
+                    m.eval(qloc[q], true).get_numeral_int();
+            }
+        }
+        return layout;
     };
 
     // ---- Duration / reliability tables ---------------------------
@@ -268,7 +304,19 @@ solveSmtMapping(const Machine &machine, const Circuit &prog,
     }
 
     // ---- Routing non-overlap (constraints 7-9) --------------------
-    if (joint) {
+    //
+    // Route footprints on an arbitrary graph depend on the placement,
+    // so the exact symbolic overlap predicate of the grid encoding
+    // would blow up combinatorially. Non-grid solves instead RELAX
+    // the constraint away entirely: dependency and coherence
+    // constraints still hold, start times become lower bounds, and
+    // the list-scheduler replay of the (layout, junctions) solution
+    // enforces real footprint non-overlap afterwards. A relaxation
+    // (rather than conservative pairwise serialization) is the sound
+    // direction — serializing every concurrent-capable pair can push
+    // the makespan past a coherence window and flip a feasible
+    // problem to unsat.
+    if (joint && grid_encoding) {
         struct CnotRegion { std::vector<SymRect> rects; };
         std::vector<CnotRegion> regions;
         for (const auto &cv : cnots) {
@@ -420,10 +468,8 @@ solveSmtMapping(const Machine &machine, const Circuit &prog,
     // certificate obtained in a near-trivial query.
     if (lower_is_tight && !bnb_layout.empty()) {
         solver.push();
-        for (int q = 0; q < n_prog; ++q) {
-            GridPos p = topo.posOf(bnb_layout[q]);
-            solver.add(qx[q] == p.x && qy[q] == p.y);
-        }
+        for (int q = 0; q < n_prog; ++q)
+            solver.add(at(q, bnb_layout[q]));
         z3::check_result pinned =
             check_with_bound(lower, options.timeoutMs / 4);
         solver.pop();
@@ -431,12 +477,7 @@ solveSmtMapping(const Machine &machine, const Circuit &prog,
             sol.optimal = true;
             sol.status = "optimal";
             z3::model &m = *best_model;
-            sol.layout.assign(n_prog, kInvalidQubit);
-            for (int q = 0; q < n_prog; ++q) {
-                int x = m.eval(qx[q], true).get_numeral_int();
-                int y = m.eval(qy[q], true).get_numeral_int();
-                sol.layout[q] = topo.qubitAt(x, y);
-            }
+            sol.layout = layout_of(m);
             sol.junctions.assign(n_gates, -1);
             for (const auto &cv : cnots) {
                 z3::expr jv = m.eval(cv.junction, true);
@@ -515,12 +556,7 @@ solveSmtMapping(const Machine &machine, const Circuit &prog,
 
     if (best_model) {
         z3::model &m = *best_model;
-        sol.layout.assign(n_prog, kInvalidQubit);
-        for (int q = 0; q < n_prog; ++q) {
-            int x = m.eval(qx[q], true).get_numeral_int();
-            int y = m.eval(qy[q], true).get_numeral_int();
-            sol.layout[q] = topo.qubitAt(x, y);
-        }
+        sol.layout = layout_of(m);
         sol.junctions.assign(n_gates, -1);
         for (const auto &cv : cnots) {
             z3::expr jv = m.eval(cv.junction, true);

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "route/region.hpp"
 #include "route/routing.hpp"
 #include "test_util.hpp"
@@ -47,14 +49,62 @@ TEST(Rect, Contains)
 
 TEST(Region, OverlapAnyPair)
 {
-    Region a{{Rect::spanning({0, 0}, {0, 1}),
-              Rect::spanning({1, 5}, {1, 6})}};
-    Region b{{Rect::spanning({1, 6}, {1, 7})}};
-    Region c{{Rect::spanning({0, 3}, {0, 4})}};
+    GridTopology topo = GridTopology::ibmq16();
+    Region a = regionFromRects(topo,
+                               {Rect::spanning({0, 0}, {0, 1}),
+                                Rect::spanning({1, 5}, {1, 6})});
+    Region b = regionFromRects(topo, {Rect::spanning({1, 6}, {1, 7})});
+    Region c = regionFromRects(topo, {Rect::spanning({0, 3}, {0, 4})});
     EXPECT_TRUE(a.overlaps(b));
     EXPECT_FALSE(a.overlaps(c));
-    EXPECT_TRUE(a.contains({1, 5}));
-    EXPECT_FALSE(a.contains({0, 4}));
+    EXPECT_TRUE(a.contains(topo.qubitAt(1, 5)));
+    EXPECT_FALSE(a.contains(topo.qubitAt(0, 4)));
+}
+
+TEST(Region, FromQubitsSortsAndDedupes)
+{
+    Region r = Region::fromQubits({7, 3, 3, 0, 7});
+    EXPECT_EQ(r.qubits, (std::vector<HwQubit>{0, 3, 7}));
+    EXPECT_TRUE(r.contains(3));
+    EXPECT_FALSE(r.contains(5));
+}
+
+/**
+ * The grid bit-identity anchor of the footprint refactor: for random
+ * rect unions on random grids, the qubit-set overlap equals the
+ * paper's pairwise rectangle-overlap predicate (Eq. 7/9) — inclusive
+ * rectangles intersect exactly when they share a cell.
+ */
+TEST(Region, QubitFootprintOverlapEqualsRectOverlapOnGrids)
+{
+    std::mt19937_64 rng(test::kSeed);
+    for (int iter = 0; iter < 400; ++iter) {
+        int rows = 1 + static_cast<int>(rng() % 7);
+        int cols = 1 + static_cast<int>(rng() % 7);
+        GridTopology topo(rows, cols);
+        auto random_rects = [&] {
+            std::vector<Rect> rects;
+            int n = 1 + static_cast<int>(rng() % 3);
+            for (int i = 0; i < n; ++i) {
+                GridPos a{static_cast<int>(rng() % rows),
+                          static_cast<int>(rng() % cols)};
+                GridPos b{static_cast<int>(rng() % rows),
+                          static_cast<int>(rng() % cols)};
+                rects.push_back(Rect::spanning(a, b));
+            }
+            return rects;
+        };
+        std::vector<Rect> ra = random_rects();
+        std::vector<Rect> rb = random_rects();
+        bool rect_overlap = false;
+        for (const Rect &x : ra)
+            for (const Rect &y : rb)
+                rect_overlap = rect_overlap || x.overlaps(y);
+        Region a = regionFromRects(topo, ra);
+        Region b = regionFromRects(topo, rb);
+        EXPECT_EQ(a.overlaps(b), rect_overlap)
+            << "grid " << rows << "x" << cols << " iteration " << iter;
+    }
 }
 
 class RouteRegions : public ::testing::Test
@@ -73,15 +123,15 @@ TEST_F(RouteRegions, RectangleReservationIsBoundingBox)
             const RoutePath &r = m_.oneBendPath(a, b, 0);
             Region region = routeRegion(
                 topo, r, RoutingPolicy::RectangleReservation);
-            ASSERT_EQ(region.rects.size(), 1u);
             Rect bb = Rect::spanning(topo.posOf(a), topo.posOf(b));
-            EXPECT_EQ(region.rects[0].x0, bb.x0);
-            EXPECT_EQ(region.rects[0].x1, bb.x1);
-            EXPECT_EQ(region.rects[0].y0, bb.y0);
-            EXPECT_EQ(region.rects[0].y1, bb.y1);
+            // The footprint is exactly the bounding box's cells.
+            ASSERT_EQ(static_cast<int>(region.qubits.size()),
+                      bb.area());
+            for (HwQubit h : region.qubits)
+                EXPECT_TRUE(bb.contains(topo.posOf(h)));
             // Every route node sits inside the reservation.
             for (HwQubit h : r.nodes)
-                EXPECT_TRUE(region.contains(topo.posOf(h)));
+                EXPECT_TRUE(region.contains(h));
         }
     }
 }
@@ -97,16 +147,11 @@ TEST_F(RouteRegions, OneBendRegionCoversPathOnly)
                 const RoutePath &r = m_.oneBendPath(a, b, j);
                 Region region =
                     routeRegion(topo, r, RoutingPolicy::OneBendPath);
-                EXPECT_EQ(region.rects.size(), 2u);
                 for (HwQubit h : r.nodes)
-                    EXPECT_TRUE(region.contains(topo.posOf(h)));
-                // 1BP legs are lines: total covered cells is at most
-                // the path length + 1 (junction counted twice).
-                int cells = 0;
-                for (const auto &rect : region.rects)
-                    cells += rect.area();
-                EXPECT_LE(cells,
-                          static_cast<int>(r.nodes.size()) + 1);
+                    EXPECT_TRUE(region.contains(h));
+                // 1BP legs are lines: the footprint is exactly the
+                // path's node set, nothing more.
+                EXPECT_EQ(region.qubits.size(), r.nodes.size());
             }
         }
     }
@@ -117,9 +162,9 @@ TEST_F(RouteRegions, DijkstraRegionIsPerNode)
     const auto &topo = m_.topo();
     RoutePath r = m_.dijkstraRoute(0, topo.numQubits() - 1);
     Region region = routeRegion(topo, r, RoutingPolicy::OneBendPath);
-    EXPECT_EQ(region.rects.size(), r.nodes.size());
+    EXPECT_EQ(region.qubits.size(), r.nodes.size());
     for (HwQubit h : r.nodes)
-        EXPECT_TRUE(region.contains(topo.posOf(h)));
+        EXPECT_TRUE(region.contains(h));
 }
 
 class RouteExpansion : public ::testing::Test

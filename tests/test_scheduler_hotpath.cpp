@@ -11,6 +11,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "core/passes.hpp"
 #include "sched/reservation_ledger.hpp"
 #include "support/rng.hpp"
@@ -332,17 +334,16 @@ INSTANTIATE_TEST_SUITE_P(
 // ReservationLedger unit behavior
 // ------------------------------------------------------------------ //
 
+/** Single-cell region on the 2x8 grid (row-major qubit ids). */
 Region
 cellRegion(int x, int y)
 {
-    Region r;
-    r.rects.push_back(Rect::spanning({x, y}, {x, y}));
-    return r;
+    return Region::fromQubits({x * 8 + y});
 }
 
 TEST(ReservationLedger, PushesPastOverlappingIntervals)
 {
-    ReservationLedger ledger(2, 8);
+    ReservationLedger ledger(16);
     Region a = cellRegion(0, 0);
     ledger.reserve(a, 0, 10);
     ledger.reserve(a, 12, 20);
@@ -358,7 +359,7 @@ TEST(ReservationLedger, PushesPastOverlappingIntervals)
 
 TEST(ReservationLedger, FrontierRetiresDeadReservations)
 {
-    ReservationLedger ledger(2, 8);
+    ReservationLedger ledger(16);
     for (int i = 0; i < 8; ++i)
         ledger.reserve(cellRegion(0, i), i * 10,
                        i * 10 + 10);
@@ -376,10 +377,17 @@ TEST(ReservationLedger, FrontierRetiresDeadReservations)
     EXPECT_EQ(ledger.frontier(), 35);
 }
 
-TEST(ReservationLedger, MatchesBruteForceOnRandomWorkload)
+/**
+ * Fuzz the ledger against the O(history) reference scan under a
+ * monotone commit frontier — the scheduler's usage pattern — with a
+ * caller-supplied random-region generator.
+ */
+void
+fuzzLedgerAgainstBruteForce(int num_qubits,
+                            const std::function<Region()> &random_region,
+                            Rng &rng)
 {
-    Rng rng(kSeed, "ledger-fuzz");
-    ReservationLedger ledger(4, 8);
+    ReservationLedger ledger(num_qubits);
 
     struct Res
     {
@@ -389,13 +397,6 @@ TEST(ReservationLedger, MatchesBruteForceOnRandomWorkload)
     std::vector<Res> all;
     Timeslot frontier = 0;
 
-    auto randomRegion = [&]() {
-        int x0 = rng.uniformInt(0, 3), x1 = rng.uniformInt(0, 3);
-        int y0 = rng.uniformInt(0, 7), y1 = rng.uniformInt(0, 7);
-        Region r;
-        r.rects.push_back(Rect::spanning({x0, y0}, {x1, y1}));
-        return r;
-    };
     auto bruteForce = [&](const Region &region, Timeslot dur,
                           Timeslot earliest) {
         Timeslot start = std::max(earliest, frontier);
@@ -414,7 +415,7 @@ TEST(ReservationLedger, MatchesBruteForceOnRandomWorkload)
     };
 
     for (int step = 0; step < 400; ++step) {
-        Region region = randomRegion();
+        Region region = random_region();
         Timeslot dur = rng.uniformInt(1, 30);
         Timeslot earliest = frontier + rng.uniformInt(0, 40);
         ASSERT_EQ(ledger.feasibleStart(region, dur, earliest),
@@ -431,6 +432,39 @@ TEST(ReservationLedger, MatchesBruteForceOnRandomWorkload)
         }
     }
     EXPECT_GT(ledger.totalCount(), ledger.liveCount());
+}
+
+TEST(ReservationLedger, MatchesBruteForceOnRandomWorkload)
+{
+    Rng rng(kSeed, "ledger-fuzz");
+    GridTopology topo(4, 8);
+    auto randomRegion = [&]() {
+        int x0 = rng.uniformInt(0, 3), x1 = rng.uniformInt(0, 3);
+        int y0 = rng.uniformInt(0, 7), y1 = rng.uniformInt(0, 7);
+        return regionFromRects(
+            topo, {Rect::spanning({x0, y0}, {x1, y1})});
+    };
+    fuzzLedgerAgainstBruteForce(topo.numQubits(), randomRegion, rng);
+}
+
+TEST(ReservationLedger, MatchesBruteForceOnHeavyHexGraph)
+{
+    // Non-grid regression: regions are BFS-path footprints on a
+    // heavy-hex lattice, so buckets no longer correspond to grid
+    // cells at all.
+    Rng rng(kSeed, "ledger-fuzz-heavyhex");
+    HeavyHexTopology topo(3);
+    Machine machine(topo, test::uniformCalibration(topo));
+    auto randomRegion = [&]() {
+        HwQubit a = rng.uniformInt(0, topo.numQubits() - 1);
+        HwQubit b = rng.uniformInt(0, topo.numQubits() - 1);
+        if (a == b)
+            b = (b + 1) % topo.numQubits();
+        int j = rng.uniformInt(0, machine.numOneBendPaths(a, b) - 1);
+        return routeRegion(topo, machine.oneBendPath(a, b, j),
+                           RoutingPolicy::OneBendPath);
+    };
+    fuzzLedgerAgainstBruteForce(topo.numQubits(), randomRegion, rng);
 }
 
 } // namespace

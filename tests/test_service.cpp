@@ -71,6 +71,42 @@ TEST(Fingerprints, CalibrationAndOptionsSensitive)
     EXPECT_NE(fingerprintOptions(o1), fingerprintOptions(o2));
 }
 
+TEST(Fingerprints, TopologyHashCannotAliasEqualQubitCounts)
+{
+    // Regression for the rows/cols-only machine fingerprint: these
+    // all have 8 qubits (and the first three even have compatible
+    // "shapes"), so a shape-only hash would alias machine-pool and
+    // compile-cache entries across genuinely different coupling
+    // graphs.
+    GridTopology grid24(2, 4);
+    RingTopology ring8(8);
+    LinearTopology linear8(8);
+    GraphTopology custom8 = GraphTopology::fromEdgeList(
+        "0 1\n1 2\n2 3\n3 4\n4 5\n5 6\n6 7\n0 4\n", "custom8");
+    Calibration cal = test::uniformCalibration(grid24);
+
+    std::vector<std::uint64_t> keys = {
+        fingerprintTopology(grid24), fingerprintTopology(ring8),
+        fingerprintTopology(linear8), fingerprintTopology(custom8)};
+    for (size_t i = 0; i < keys.size(); ++i)
+        for (size_t j = i + 1; j < keys.size(); ++j)
+            EXPECT_NE(keys[i], keys[j]) << i << " vs " << j;
+
+    // ring8 and linear8 share qubit AND edge-compatible calibration
+    // arity, so machineKey must still separate them.
+    Calibration ring_cal = test::uniformCalibration(ring8);
+    EXPECT_NE(machineKey(ring8, ring_cal),
+              machineKey(GridTopology(2, 4), ring_cal));
+
+    // Same graph, different construction path: identical key (the
+    // hash is content-based, not type-based) — a linear chain loaded
+    // from an edge list still counts as a distinct kind, though.
+    GraphTopology linear_as_graph = GraphTopology::fromEdgeList(
+        "0 1\n1 2\n2 3\n3 4\n4 5\n5 6\n6 7\n", "linear-as-graph");
+    EXPECT_NE(fingerprintTopology(linear8),
+              fingerprintTopology(linear_as_graph));
+}
+
 // ---------------------------------------------------------------- //
 // Thread pool
 // ---------------------------------------------------------------- //

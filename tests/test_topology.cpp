@@ -1,10 +1,15 @@
 /**
  * @file
- * Grid-topology tests: construction, adjacency, distances and the
- * IBMQ16 instance, swept over several grid shapes.
+ * Topology tests: the grid family (construction, adjacency,
+ * distances, the IBMQ16 instance) swept over several shapes, the
+ * non-grid families (heavy-hex, ring, linear, edge-list graphs), the
+ * BFS-distance/Manhattan equivalence property, and the CLI spec
+ * factory.
  */
 
 #include <gtest/gtest.h>
+
+#include <random>
 
 #include "machine/topology.hpp"
 #include "support/logging.hpp"
@@ -105,6 +110,137 @@ TEST(GridTopology, InteriorDegreeOn2x8)
     GridTopology g = GridTopology::ibmq16();
     EXPECT_EQ(g.neighbors(g.qubitAt(0, 0)).size(), 2u); // corner
     EXPECT_EQ(g.neighbors(g.qubitAt(0, 3)).size(), 3u); // edge-interior
+}
+
+/**
+ * Property test for the abstraction: on random grids the generic
+ * graph machinery (BFS distances, as every non-grid kind uses) agrees
+ * with the grid's L1 fast path. GraphTopology built from the grid's
+ * own edge list IS the generic path, so this pins the two
+ * implementations against each other.
+ */
+TEST(TopologyProperty, BfsDistanceEqualsManhattanOnRandomGrids)
+{
+    std::mt19937_64 rng(20190131);
+    for (int iter = 0; iter < 25; ++iter) {
+        int rows = 1 + static_cast<int>(rng() % 8);
+        int cols = 1 + static_cast<int>(rng() % 8);
+        if (rows * cols < 2)
+            cols = 2;
+        GridTopology g(rows, cols);
+        std::vector<CouplingEdge> edges(g.edges());
+        GraphTopology generic(g.numQubits(), edges,
+                              "asgraph-" + g.name());
+        ASSERT_FALSE(generic.isGrid());
+        for (int a = 0; a < g.numQubits(); ++a) {
+            for (int b = 0; b < g.numQubits(); ++b) {
+                GridPos pa = g.posOf(a);
+                GridPos pb = g.posOf(b);
+                int l1 =
+                    std::abs(pa.x - pb.x) + std::abs(pa.y - pb.y);
+                ASSERT_EQ(g.distance(a, b), l1)
+                    << g.name() << " L1 fast path";
+                ASSERT_EQ(generic.distance(a, b), l1)
+                    << g.name() << " BFS table";
+            }
+        }
+    }
+}
+
+TEST(HeavyHexTopology, ShapeAndDegreeBound)
+{
+    HeavyHexTopology h(3);
+    EXPECT_EQ(h.kind(), TopologyKind::HeavyHex);
+    EXPECT_FALSE(h.isGrid());
+    EXPECT_EQ(h.name(), "heavyhex3");
+    // d^2 data + d(d-1) flags + 3 bridges at d=3.
+    EXPECT_EQ(h.numQubits(), 18);
+    // Heavy-hex signature: max degree 3.
+    for (int q = 0; q < h.numQubits(); ++q)
+        EXPECT_LE(h.neighbors(q).size(), 3u) << "qubit " << q;
+    // Grid accessors are grid-only.
+    EXPECT_THROW(h.rows(), FatalError);
+    EXPECT_THROW(h.posOf(0), FatalError);
+    // Distances are symmetric, metric-positive, edge-consistent.
+    for (int a = 0; a < h.numQubits(); ++a)
+        for (int b = 0; b < h.numQubits(); ++b) {
+            EXPECT_EQ(h.distance(a, b), h.distance(b, a));
+            EXPECT_EQ(h.distance(a, b) == 0, a == b);
+            EXPECT_EQ(h.adjacent(a, b), h.distance(a, b) == 1);
+        }
+    EXPECT_THROW(HeavyHexTopology(1), FatalError);
+}
+
+TEST(RingTopology, WrapsAround)
+{
+    RingTopology r(8);
+    EXPECT_EQ(r.numQubits(), 8);
+    EXPECT_EQ(r.numEdges(), 8);
+    EXPECT_EQ(r.name(), "ring8");
+    EXPECT_TRUE(r.adjacent(0, 7));
+    EXPECT_EQ(r.distance(0, 4), 4); // antipode
+    EXPECT_EQ(r.distance(0, 5), 3); // shorter the other way
+    for (int q = 0; q < 8; ++q)
+        EXPECT_EQ(r.neighbors(q).size(), 2u);
+    EXPECT_THROW(RingTopology(2), FatalError);
+}
+
+TEST(LinearTopology, IsAPath)
+{
+    LinearTopology l(8);
+    EXPECT_EQ(l.numEdges(), 7);
+    EXPECT_EQ(l.name(), "linear8");
+    EXPECT_FALSE(l.adjacent(0, 7));
+    EXPECT_EQ(l.distance(0, 7), 7);
+    EXPECT_EQ(l.neighbors(0).size(), 1u);
+    EXPECT_THROW(LinearTopology(1), FatalError);
+}
+
+TEST(GraphTopology, ParsesEdgeListsAndValidates)
+{
+    GraphTopology g = GraphTopology::fromEdgeList(
+        "# a triangle with a tail\n"
+        "0 1\n1 2  # back edge\n2 0\n2 3\n",
+        "tri-tail");
+    EXPECT_EQ(g.numQubits(), 4);
+    EXPECT_EQ(g.numEdges(), 4);
+    EXPECT_EQ(g.name(), "tri-tail");
+    EXPECT_EQ(g.distance(0, 3), 2);
+
+    // Declared qubit counts are honored and checked.
+    GraphTopology declared = GraphTopology::fromEdgeList(
+        "qubits 3\n0 1\n1 2\n", "declared");
+    EXPECT_EQ(declared.numQubits(), 3);
+
+    EXPECT_THROW(GraphTopology::fromEdgeList("", "empty"), FatalError);
+    EXPECT_THROW(GraphTopology::fromEdgeList("0 0\n", "loop"),
+                 FatalError);
+    EXPECT_THROW(GraphTopology::fromEdgeList("0 1\n1 0\n", "dup"),
+                 FatalError);
+    EXPECT_THROW(
+        GraphTopology::fromEdgeList("0 1\n2 3\n", "disconnected"),
+        FatalError);
+    EXPECT_THROW(GraphTopology::fromEdgeList("0 x\n", "junk"),
+                 FatalError);
+    // Trailing garbage in a qubit id must not silently truncate.
+    EXPECT_THROW(GraphTopology::fromEdgeList("0x5 2\n", "hexish"),
+                 FatalError);
+}
+
+TEST(TopologySpec, FactoryParsesEveryFamily)
+{
+    EXPECT_EQ(topologyFromSpec("grid:2x8").name(), "grid2x8");
+    EXPECT_EQ(topologyFromSpec("grid:2x8").kind(), TopologyKind::Grid);
+    EXPECT_EQ(topologyFromSpec("heavyhex:3").numQubits(), 18);
+    EXPECT_EQ(topologyFromSpec("ring:12").numEdges(), 12);
+    EXPECT_EQ(topologyFromSpec("linear:5").numEdges(), 4);
+
+    EXPECT_THROW(topologyFromSpec("grid:8"), FatalError);
+    EXPECT_THROW(topologyFromSpec("ring:-3"), FatalError);
+    EXPECT_THROW(topologyFromSpec("mesh:4"), FatalError);
+    EXPECT_THROW(topologyFromSpec("grid"), FatalError);
+    EXPECT_THROW(topologyFromSpec("file:/nonexistent/x.edges"),
+                 FatalError);
 }
 
 } // namespace

@@ -93,7 +93,7 @@ expectScheduleWellFormed(const Machine &machine, const Schedule &sched)
  * noisy-element avoidance), which makes SWAP-count assertions exact.
  */
 inline Calibration
-uniformCalibration(const GridTopology &topo)
+uniformCalibration(const Topology &topo)
 {
     Calibration cal;
     cal.t1Us.assign(topo.numQubits(), 80.0);

@@ -2,9 +2,11 @@
  * @file
  * naqc — the noise-adaptive quantum compiler CLI.
  *
- * Reads an OpenQASM 2.0 program, compiles it for a grid machine with
- * one of the Table 1 mapper variants against either synthetic or
- * user-provided calibration data, and writes IBMQ16-ready OpenQASM.
+ * Reads an OpenQASM 2.0 program, compiles it for a machine described
+ * by any coupling topology (--topology grid:RxC | heavyhex:D |
+ * ring:N | linear:N | file:PATH) with one of the Table 1 mapper
+ * variants against either synthetic or user-provided calibration
+ * data, and writes hardware-ready OpenQASM.
  * Optionally Monte-Carlo-simulates the compiled program.
  *
  * With --jobs (and/or --days), naqc switches to batch mode: every
@@ -20,6 +22,7 @@
  *        --mapper 'GreedyE*'
  */
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -43,8 +46,10 @@ struct CliOptions
     std::string calibrationPath;
     std::string mapper = "R-SMT*";
     std::string expected;
+    std::string topology; ///< spec string; empty = rows x cols grid
     int rows = 2;
     int cols = 8;
+    bool gridFlagsUsed = false; ///< deprecated --rows/--cols given
     int day = 0;
     int days = 1;
     int jobs = 0;  ///< >0 switches to batch/service mode
@@ -71,8 +76,14 @@ printUsage(std::ostream &os)
           "GreedyV* | GreedyE* | GreedyE*+track\n"
           "                       (case-insensitive; aliases like "
           "'rsmt*' or 'track' work)\n"
-          "  --rows R --cols C    machine grid (default 2x8, the "
-          "paper's IBMQ16)\n"
+          "  --topology SPEC      machine coupling graph: "
+          "grid:RxC | heavyhex:D |\n"
+          "                       ring:N | linear:N | file:PATH "
+          "(default grid:2x8,\n"
+          "                       the paper's IBMQ16); see "
+          "--list-topologies\n"
+          "  --rows R --cols C    deprecated alias for "
+          "--topology grid:RxC\n"
           "  --calibration FILE   calibration snapshot (see "
           "calibration_io.hpp)\n"
           "  --seed S --day D     synthetic calibration instead "
@@ -89,6 +100,8 @@ printUsage(std::ostream &os)
           "simulator\n"
           "  --expected BITS      correct answer for --simulate "
           "success rate\n"
+          "  --list-topologies    print the topology spec grammar and "
+          "exit\n"
           "  --report             print mapping/reliability report to "
           "stderr\n"
           "  --trace              print the per-stage timing table "
@@ -115,10 +128,17 @@ parseArgs(int argc, char **argv)
             opts.outPath = need(i, "--out");
         } else if (arg == "--mapper") {
             opts.mapper = need(i, "--mapper");
+        } else if (arg == "--topology") {
+            opts.topology = need(i, "--topology");
         } else if (arg == "--rows") {
             opts.rows = std::stoi(need(i, "--rows"));
+            opts.gridFlagsUsed = true;
         } else if (arg == "--cols") {
             opts.cols = std::stoi(need(i, "--cols"));
+            opts.gridFlagsUsed = true;
+        } else if (arg == "--list-topologies") {
+            std::cout << topologySpecHelp() << "\n";
+            std::exit(0);
         } else if (arg == "--calibration") {
             opts.calibrationPath = need(i, "--calibration");
         } else if (arg == "--seed") {
@@ -151,6 +171,27 @@ parseArgs(int argc, char **argv)
         }
     }
     return opts;
+}
+
+/**
+ * The machine topology for this invocation — the one construction
+ * point shared by single and batch mode. --rows/--cols stay as a
+ * deprecated alias for --topology grid:RxC.
+ */
+Topology
+topologyFromOptions(const CliOptions &opts)
+{
+    if (!opts.topology.empty()) {
+        if (opts.gridFlagsUsed)
+            QC_FATAL("--rows/--cols conflict with --topology; pass "
+                     "only --topology");
+        return topologyFromSpec(opts.topology);
+    }
+    if (opts.gridFlagsUsed)
+        std::cerr << "naqc: --rows/--cols are deprecated; use "
+                     "--topology grid:"
+                  << opts.rows << "x" << opts.cols << "\n";
+    return GridTopology(opts.rows, opts.cols);
 }
 
 std::string
@@ -188,7 +229,7 @@ runBatch(const CliOptions &opts)
     if (opts.days < 1)
         QC_FATAL("--days must be >= 1");
 
-    GridTopology topo(opts.rows, opts.cols);
+    Topology topo = topologyFromOptions(opts);
     CalibrationModel model(topo, opts.seed);
 
     CompilerOptions copts;
@@ -278,7 +319,7 @@ runCli(const CliOptions &opts)
     Circuit prog = parseQasm(readInput(opts.qasmPaths[0]),
                              "cli-program");
 
-    GridTopology topo(opts.rows, opts.cols);
+    Topology topo = topologyFromOptions(opts);
     Calibration cal;
     if (!opts.calibrationPath.empty()) {
         cal = loadCalibration(readInput(opts.calibrationPath), topo);
