@@ -9,23 +9,154 @@
  *  (5) restore-vs-track routing: the paper's SWAP-and-restore scheme
  *      against a live-tracking router that commits qubit movement,
  *  (6) topology study: the paper's Sec. 9 conclusion that richer
- *      topologies reduce SWAP pressure, on same-size grids.
+ *      topologies reduce SWAP pressure, on same-size grids,
+ *  (7) SABRE refinement vs GreedyE*+track: the iterative placement
+ *      pass against its one-shot greedy seed on the Table 2 set,
+ *      across grid, heavy-hex and ring machines.
+ *
+ * With `--json PATH` only study (7) runs and its machine-readable
+ * envelope (bench/bench_json.hpp) is written to PATH — that is the
+ * CI perf-smoke entry gating sabre's aggregate predicted success
+ * against bench/baselines/ablation.json (tools/bench_check.py); the
+ * other studies need Z3 + Monte-Carlo budgets CI does not spend.
  */
 
 #include <chrono>
 #include <cmath>
 
+#include "bench_json.hpp"
 #include "bench_util.hpp"
 #include "solver/bnb_placer.hpp"
 #include "solver/objective.hpp"
 
 using namespace qc;
 
+namespace {
+
+/**
+ * (7) Sabre-vs-greedy study. Predicted success only (both bundles
+ * predict inline from the emitted hardware ops, so this is exact and
+ * deterministic — no Monte-Carlo needed).
+ */
+void
+runSabreStudy(std::uint64_t seed, const std::string &json_path)
+{
+    struct TopoCase { const char *label; Topology topo; };
+    const std::vector<TopoCase> topos = {
+        {"grid2x8", GridTopology::ibmq16()},
+        {"heavyhex3", HeavyHexTopology(3)},
+        {"ring16", RingTopology(16)},
+    };
+
+    struct Row
+    {
+        std::string name; ///< "<topo>/<bench>"
+        CompiledProgram greedy;
+        CompiledProgram sabre;
+    };
+    std::vector<Row> rows;
+    for (const TopoCase &tc : topos) {
+        CalibrationModel model(tc.topo, seed);
+        auto machine = std::make_shared<const Machine>(
+            tc.topo, model.forDay(0));
+        CompilerOptions greedy;
+        greedy.mapper = MapperKind::GreedyETrack;
+        CompilerOptions sabre;
+        sabre.mapper = MapperKind::Sabre;
+        Pipeline greedy_pipe = standardPipeline(machine, greedy);
+        Pipeline sabre_pipe = standardPipeline(machine, sabre);
+        for (const Benchmark &b : paperBenchmarks())
+            rows.push_back({std::string(tc.label) + "/" + b.name,
+                            greedy_pipe.compile(b.circuit),
+                            sabre_pipe.compile(b.circuit)});
+    }
+
+    int wins = 0, regressed = 0;
+    double greedy_log = 0.0, sabre_log = 0.0;
+    Table t({"Instance", "GreedyE*+track", "Sabre", "swaps g",
+             "swaps s", "verdict"});
+    for (const Row &r : rows) {
+        double g = r.greedy.predictedSuccess;
+        double s = r.sabre.predictedSuccess;
+        greedy_log += std::log(g);
+        sabre_log += std::log(s);
+        bool win = s >= g - 1e-12;
+        if (win)
+            ++wins;
+        if (s < 0.95 * g)
+            ++regressed;
+        t.addRow({r.name, Table::fmt(g), Table::fmt(s),
+                  Table::fmt(static_cast<long long>(
+                      r.greedy.swapCount)),
+                  Table::fmt(static_cast<long long>(
+                      r.sabre.swapCount)),
+                  win ? (s > g + 1e-12 ? "improved" : "tie")
+                      : "REGRESSED"});
+    }
+    std::cout << "(7) SABRE refinement vs GreedyE*+track "
+                 "(predicted success)\n";
+    t.print(std::cout);
+    std::cout << "\nimprove-or-tie on " << wins << "/" << rows.size()
+              << " instances; aggregate predicted success "
+              << std::exp(greedy_log) << " (greedy) vs "
+              << std::exp(sabre_log) << " (sabre)\n";
+
+    if (json_path.empty())
+        return;
+    std::ofstream out = bench::openJsonOut(json_path);
+    bench::JsonWriter json(out);
+    json.beginObject()
+        .field("schema_version", 1)
+        .field("bench", "bench_ablation")
+        .field("seed", seed)
+        .key("entries")
+        .beginArray();
+    for (const Row &r : rows) {
+        auto emit = [&](const char *mapper, const CompiledProgram &p) {
+            json.beginObject()
+                .field("name", r.name + "/" + mapper)
+                .key("metrics")
+                .beginObject()
+                .field("psuccess", p.predictedSuccess)
+                .field("swaps", static_cast<long long>(p.swapCount))
+                .field("makespan", static_cast<long long>(p.duration))
+                .endObject()
+                .endObject();
+        };
+        emit("greedy", r.greedy);
+        emit("sabre", r.sabre);
+    }
+    json.endArray()
+        .key("totals")
+        .beginObject()
+        .field("greedy_psuccess", std::exp(greedy_log))
+        .field("sabre_psuccess", std::exp(sabre_log))
+        .field("wins", wins)
+        .field("regressed", regressed)
+        .field("compiles", static_cast<long long>(2 * rows.size()))
+        .endObject()
+        .endObject();
+    out << "\n";
+    std::cout << "wrote " << json_path << "\n";
+}
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     const std::uint64_t seed = bench::benchSeed();
     const int trials = bench::benchTrials();
+
+    // CI mode: the deterministic sabre study only, as JSON.
+    if (const std::string json_path = bench::jsonOutPath(argc, argv);
+        !json_path.empty()) {
+        bench::banner("Ablation (7) only: sabre vs greedy (--json)",
+                      seed);
+        runSabreStudy(seed, json_path);
+        return 0;
+    }
+
     bench::banner("Ablations: omega sweep, solver engines, channels",
                   seed);
     ExperimentEnv env(seed);
@@ -210,7 +341,10 @@ main()
         std::cout << "\nNote: per-topology calibrations are drawn "
                      "independently, so success\ncomparisons fold in "
                      "machine-quality luck; the SWAP counts are the "
-                     "structural\nsignal.\n";
+                     "structural\nsignal.\n\n";
     }
+
+    // (7) Sabre refinement vs its greedy seed.
+    runSabreStudy(seed, "");
     return 0;
 }

@@ -95,6 +95,25 @@ main()
                   << (t.note.empty() ? "" : " (" + t.note + ")")
                   << "\n";
     std::cout << "Predicted success: "
-              << staged.program.predictedSuccess << "\n";
+              << staged.program.predictedSuccess << "\n\n";
+
+    // 7. SABRE-style refinement: instead of fixing the greedy
+    //    placement, search for a better initial layout with
+    //    forward/backward routing round trips (MapperKind::Sabre, or
+    //    passes::sabrePlacement() in a custom pipeline). The
+    //    iteration/lookahead knobs trade compile time for mapping
+    //    quality; the result never predicts worse than its greedy
+    //    seed.
+    CompilerOptions sabre;
+    sabre.mapper = MapperKind::Sabre;
+    sabre.sabreIterations = 3; // forward/backward round trips
+    sabre.sabreLookahead = 20; // decayed lookahead window (CNOTs)
+    PipelineResult refined =
+        standardPipeline(snapshot, sabre).run(bench.circuit);
+    if (refined.hasProgram)
+        std::cout << "Sabre-refined predicted success: "
+                  << refined.program.predictedSuccess << " (vs "
+                  << staged.program.predictedSuccess
+                  << " for one-shot GreedyE*+track)\n";
     return 0;
 }

@@ -21,6 +21,7 @@ mapperKindName(MapperKind k)
       case MapperKind::GreedyV: return "GreedyV*";
       case MapperKind::GreedyE: return "GreedyE*";
       case MapperKind::GreedyETrack: return "GreedyE*+track";
+      case MapperKind::Sabre: return "Sabre";
     }
     QC_PANIC("unknown mapper kind");
 }
@@ -65,6 +66,8 @@ mapperKindFromName(const std::string &name)
         {"greedye*track", MapperKind::GreedyETrack},
         {"greedyetrack", MapperKind::GreedyETrack},
         {"track", MapperKind::GreedyETrack},
+        {"sabre", MapperKind::Sabre},
+        {"sabretrack", MapperKind::Sabre},
     };
     const std::string norm = normalizedMapperName(name);
     for (const auto &e : table)
@@ -81,7 +84,8 @@ mapperKindFromName(const std::string &name)
              "; matching is case-insensitive and ignores '-', '_', "
              "'+' and spaces, e.g. 'rsmt*' or 'r smt*'; aliases: "
              "r-smt -> R-SMT*, greedyv/greedye -> starred "
-             "heuristics, track -> GreedyE*+track)");
+             "heuristics, track -> GreedyE*+track, sabre+track -> "
+             "Sabre)");
 }
 
 Pipeline
@@ -118,6 +122,17 @@ standardPipeline(std::shared_ptr<const Machine> machine,
             .scheduling(passes::trackingScheduling())
             .named("GreedyE*+track")
             .build();
+      case MapperKind::Sabre: {
+        // Sabre refines its layout against the tracking router's
+        // movement model, so the standard bundle schedules with it.
+        SabreOptions sabre;
+        sabre.iterations = options.sabreIterations;
+        sabre.lookahead = options.sabreLookahead;
+        return builder.placement(passes::sabrePlacement(sabre))
+            .routing(passes::liveRouting())
+            .scheduling(passes::trackingScheduling())
+            .build();
+      }
       case MapperKind::TSmt:
       case MapperKind::TSmtStar:
       case MapperKind::RSmtStar: {
@@ -196,6 +211,12 @@ NoiseAdaptiveCompiler::makeMapper(const Machine &machine,
         return std::make_unique<GreedyEMapper>(machine);
       case MapperKind::GreedyETrack:
         return std::make_unique<GreedyETrackMapper>(machine);
+      case MapperKind::Sabre: {
+        SabreOptions sabre;
+        sabre.iterations = options.sabreIterations;
+        sabre.lookahead = options.sabreLookahead;
+        return std::make_unique<SabreMapper>(machine, sabre);
+      }
       case MapperKind::TSmt:
       case MapperKind::TSmtStar:
       case MapperKind::RSmtStar: {

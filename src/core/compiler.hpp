@@ -28,7 +28,7 @@
 
 namespace qc {
 
-/** The compiler variants of Table 1. */
+/** The compiler variants of Table 1, plus post-paper extensions. */
 enum class MapperKind {
     Qiskit,   ///< calibration-blind baseline
     TSmt,     ///< SMT, minimize duration, static machine model
@@ -37,6 +37,7 @@ enum class MapperKind {
     GreedyV,  ///< greatest-vertex-degree-first heuristic
     GreedyE,  ///< greatest-weighted-edge-first heuristic
     GreedyETrack, ///< GreedyE* placement + live-tracking routing
+    Sabre,    ///< SABRE-refined placement + live-tracking routing
 };
 
 /** Every MapperKind, in Table 1 order (iteration helper). */
@@ -44,7 +45,7 @@ inline constexpr MapperKind kAllMapperKinds[] = {
     MapperKind::Qiskit,       MapperKind::TSmt,
     MapperKind::TSmtStar,     MapperKind::RSmtStar,
     MapperKind::GreedyV,      MapperKind::GreedyE,
-    MapperKind::GreedyETrack,
+    MapperKind::GreedyETrack, MapperKind::Sabre,
 };
 
 const char *mapperKindName(MapperKind k);
@@ -73,6 +74,14 @@ struct CompilerOptions
      * SchedulerOptions::referenceMode). Testing/benchmarking knob.
      */
     bool referenceScheduler = false;
+
+    /** @name Sabre knobs (MapperKind::Sabre only)
+     *  Forwarded to SabreOptions; both steer the mapping, so both are
+     *  part of the service's compile-cache key (fingerprintOptions).
+     *  @{ */
+    int sabreIterations = 3; ///< refinement round trips
+    int sabreLookahead = 20; ///< decayed lookahead window (CNOTs)
+    /** @} */
 };
 
 /**

@@ -299,6 +299,12 @@ greedyEdge()
 }
 
 std::unique_ptr<PlacementPass>
+sabrePlacement(SabreOptions options)
+{
+    return std::make_unique<SabrePlacementPass>(options);
+}
+
+std::unique_ptr<PlacementPass>
 smt(SmtMapperOptions options)
 {
     return std::make_unique<SmtPlacementPass>(options);

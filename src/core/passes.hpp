@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "core/pipeline.hpp"
+#include "mappers/sabre_mapper.hpp"
 #include "mappers/smt_mapper.hpp"
 #include "route/routing.hpp"
 #include "sched/tracking_router.hpp"
@@ -30,6 +31,16 @@ std::unique_ptr<PlacementPass> greedyVertex();
 
 /** GreedyE*: heaviest-edge-first placement (paper Sec. 5.2). */
 std::unique_ptr<PlacementPass> greedyEdge();
+
+/**
+ * SABRE-style iterative placement refinement: forward/backward
+ * routing round trips over the CNOT dependency frontier, keeping the
+ * best initial layout by tracking-router predicted success (see
+ * mappers/sabre_mapper.hpp). Composes with any routing/scheduling
+ * pass; the MapperKind::Sabre bundle pairs it with the live-tracking
+ * scheduler.
+ */
+std::unique_ptr<PlacementPass> sabrePlacement(SabreOptions options = {});
 
 /**
  * SMT placement (T-SMT / T-SMT* / R-SMT*, paper Sec. 4). On solver

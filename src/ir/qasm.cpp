@@ -1,6 +1,7 @@
 #include "qasm.hpp"
 
 #include <cctype>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -89,7 +90,18 @@ struct StmtCursor
         }
         if (start == pos)
             QC_FATAL("qasm line ", line, ": expected number");
-        return std::stoi(text.substr(start, pos - start));
+        // Accumulate with an overflow guard: an oversized literal
+        // (q[99999999999]) must be a parse diagnostic with the line
+        // number, not std::out_of_range escaping the parser.
+        long long value = 0;
+        for (size_t i = start; i < pos; ++i) {
+            value = value * 10 + (text[i] - '0');
+            if (value > std::numeric_limits<int>::max())
+                QC_FATAL("qasm line ", line, ": number '",
+                         text.substr(start, pos - start),
+                         "' out of range");
+        }
+        return static_cast<int>(value);
     }
 
     void
@@ -146,7 +158,12 @@ parseQasm(const std::string &text, const std::string &name)
             }
             if (c == '\n') {
                 ++line;
-                cur += ' ';
+                // Folding the newline into a pending statement keeps
+                // multi-line statements parsable; an *empty* buffer
+                // must stay empty so the next statement records the
+                // line its first real character is on.
+                if (!cur.empty())
+                    cur += ' ';
                 continue;
             }
             if (c == ';') {

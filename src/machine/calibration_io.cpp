@@ -1,11 +1,41 @@
 #include "calibration_io.hpp"
 
+#include <cctype>
+#include <limits>
 #include <sstream>
 #include <vector>
 
+#include "support/cli.hpp"
 #include "support/logging.hpp"
 
 namespace qc {
+
+namespace {
+
+std::string
+formatCalibError(const std::string &source, int line, int column,
+                 const std::string &detail)
+{
+    std::ostringstream oss;
+    oss << source;
+    if (line > 0) {
+        oss << ":" << line;
+        if (column > 0)
+            oss << ":" << column;
+    }
+    oss << ": " << detail;
+    return oss.str();
+}
+
+} // namespace
+
+CalibParseError::CalibParseError(const std::string &source, int line,
+                                 int column,
+                                 const std::string &detail)
+    : FatalError(formatCalibError(source, line, column, detail)),
+      source_(source), line_(line), column_(column)
+{
+}
 
 std::string
 saveCalibration(const Calibration &cal, const Topology &topo)
@@ -43,11 +73,23 @@ saveCalibration(const Calibration &cal, const Topology &topo)
 
 namespace {
 
+/** One whitespace-delimited token and its 1-based start column. */
+struct Token
+{
+    std::string text;
+    int column;
+};
+
 /** Tokenized line with its source line number. */
 struct Line
 {
-    std::vector<std::string> tokens;
+    std::vector<Token> tokens;
     int number;
+
+    const std::string &tok(size_t idx) const
+    {
+        return tokens[idx].text;
+    }
 };
 
 std::vector<Line>
@@ -61,52 +103,101 @@ tokenize(const std::string &text)
         ++number;
         if (auto hash = raw.find('#'); hash != std::string::npos)
             raw.erase(hash);
-        std::istringstream ls(raw);
         Line line{{}, number};
-        std::string tok;
-        while (ls >> tok)
-            line.tokens.push_back(tok);
+        size_t i = 0;
+        while (i < raw.size()) {
+            if (std::isspace(static_cast<unsigned char>(raw[i]))) {
+                ++i;
+                continue;
+            }
+            size_t start = i;
+            while (i < raw.size() &&
+                   !std::isspace(static_cast<unsigned char>(raw[i])))
+                ++i;
+            line.tokens.push_back({raw.substr(start, i - start),
+                                   static_cast<int>(start) + 1});
+        }
         if (!line.tokens.empty())
             lines.push_back(std::move(line));
     }
     return lines;
 }
 
-double
-parseDouble(const Line &line, size_t idx)
+/**
+ * Parse state shared by the field readers: the diagnostic source name
+ * rides along so every error carries file, line and column.
+ */
+struct FieldParser
 {
-    if (idx >= line.tokens.size())
-        QC_FATAL("calibration line ", line.number, ": missing field");
-    try {
-        return std::stod(line.tokens[idx]);
-    } catch (const std::exception &) {
-        QC_FATAL("calibration line ", line.number, ": bad number '",
-                 line.tokens[idx], "'");
+    const std::string &source;
+
+    [[noreturn]] void fail(const Line &line, int column,
+                           const std::string &detail) const
+    {
+        throw CalibParseError(source, line.number, column, detail);
     }
-}
 
-int
-parseInt(const Line &line, size_t idx)
-{
-    double v = parseDouble(line, idx);
-    return static_cast<int>(v);
-}
+    const Token &field(const Line &line, size_t idx) const
+    {
+        if (idx >= line.tokens.size())
+            fail(line, 0, "missing field (wanted " +
+                              std::to_string(idx + 1) +
+                              " fields, got " +
+                              std::to_string(line.tokens.size()) + ")");
+        return line.tokens[idx];
+    }
 
-void
-expectKeyword(const Line &line, size_t idx, const std::string &kw)
-{
-    if (idx >= line.tokens.size() || line.tokens[idx] != kw)
-        QC_FATAL("calibration line ", line.number, ": expected '", kw,
-                 "'");
-}
+    /**
+     * Strict full-token double (cli::strictParseDouble): trailing
+     * garbage and out-of-range magnitudes are parse errors, not
+     * silently accepted prefixes (bare std::stod stops at the first
+     * bad character and throws std::out_of_range past the loader on
+     * overflow).
+     */
+    double parseDouble(const Line &line, size_t idx) const
+    {
+        const Token &t = field(line, idx);
+        double v = 0.0;
+        if (!cli::strictParseDouble(t.text, v))
+            fail(line, t.column,
+                 "bad number '" + t.text + "' for '" + line.tok(0) +
+                     "'");
+        return v;
+    }
+
+    /** Strict full-token integer ("3.5" is not an int here). */
+    int parseInt(const Line &line, size_t idx) const
+    {
+        const Token &t = field(line, idx);
+        long long v = 0;
+        if (!cli::strictParseLongLong(t.text, v) ||
+            v < std::numeric_limits<int>::min() ||
+            v > std::numeric_limits<int>::max())
+            fail(line, t.column,
+                 "bad integer '" + t.text + "' for '" + line.tok(0) +
+                     "'");
+        return static_cast<int>(v);
+    }
+
+    void expectKeyword(const Line &line, size_t idx,
+                       const std::string &kw) const
+    {
+        const Token &t = field(line, idx);
+        if (t.text != kw)
+            fail(line, t.column,
+                 "expected '" + kw + "', got '" + t.text + "'");
+    }
+};
 
 } // namespace
 
 Calibration
-loadCalibration(const std::string &text, const Topology &topo)
+loadCalibration(const std::string &text, const Topology &topo,
+                const std::string &source)
 {
     const size_t nq = static_cast<size_t>(topo.numQubits());
     const size_t ne = static_cast<size_t>(topo.numEdges());
+    const FieldParser p{source};
 
     Calibration cal;
     cal.t1Us.assign(nq, 0.0);
@@ -120,97 +211,105 @@ loadCalibration(const std::string &text, const Topology &topo)
     bool header_seen = false;
     bool grid_seen = false;
 
+    auto whole_file_error = [&](const std::string &detail) {
+        throw CalibParseError(source, 0, 0, detail);
+    };
+
     for (const Line &line : tokenize(text)) {
-        const auto &t = line.tokens;
-        if (t[0] == "calibration") {
-            if (t.size() < 2 || t[1] != "v1")
-                QC_FATAL("calibration line ", line.number,
-                         ": unsupported version");
+        const std::string &head = line.tok(0);
+        if (head == "calibration") {
+            if (line.tokens.size() < 2 || line.tok(1) != "v1")
+                p.fail(line, line.tokens[0].column,
+                       "unsupported version");
             header_seen = true;
-        } else if (t[0] == "day") {
-            cal.day = parseInt(line, 1);
-        } else if (t[0] == "grid") {
-            int rows = parseInt(line, 1);
-            int cols = parseInt(line, 2);
+        } else if (head == "day") {
+            cal.day = p.parseInt(line, 1);
+        } else if (head == "grid") {
+            int rows = p.parseInt(line, 1);
+            int cols = p.parseInt(line, 2);
             if (!topo.isGrid() || rows != topo.rows() ||
                 cols != topo.cols())
-                QC_FATAL("calibration line ", line.number, ": grid ",
-                         rows, "x", cols, " does not match topology ",
-                         topo.name());
+                p.fail(line, line.tokens[0].column,
+                       "grid " + std::to_string(rows) + "x" +
+                           std::to_string(cols) +
+                           " does not match topology " + topo.name());
             grid_seen = true;
-        } else if (t[0] == "topology") {
-            if (t.size() < 4)
-                QC_FATAL("calibration line ", line.number,
-                         ": topology line wants NAME QUBITS EDGES");
-            if (t[1] != topo.name() ||
-                parseInt(line, 2) != topo.numQubits() ||
-                parseInt(line, 3) != topo.numEdges())
-                QC_FATAL("calibration line ", line.number,
-                         ": topology '", t[1],
-                         "' does not match machine topology ",
-                         topo.name());
+        } else if (head == "topology") {
+            if (line.tokens.size() < 4)
+                p.fail(line, line.tokens[0].column,
+                       "topology line wants NAME QUBITS EDGES");
+            if (line.tok(1) != topo.name() ||
+                p.parseInt(line, 2) != topo.numQubits() ||
+                p.parseInt(line, 3) != topo.numEdges())
+                p.fail(line, line.tokens[1].column,
+                       "topology '" + line.tok(1) +
+                           "' does not match machine topology " +
+                           topo.name());
             grid_seen = true;
-        } else if (t[0] == "oneq") {
-            expectKeyword(line, 1, "error");
-            cal.oneQubitError = parseDouble(line, 2);
-            expectKeyword(line, 3, "duration");
-            cal.oneQubitDuration = parseInt(line, 4);
-        } else if (t[0] == "readout_duration") {
-            cal.readoutDuration = parseInt(line, 1);
-        } else if (t[0] == "qubit") {
-            int h = parseInt(line, 1);
+        } else if (head == "oneq") {
+            p.expectKeyword(line, 1, "error");
+            cal.oneQubitError = p.parseDouble(line, 2);
+            p.expectKeyword(line, 3, "duration");
+            cal.oneQubitDuration = p.parseInt(line, 4);
+        } else if (head == "readout_duration") {
+            cal.readoutDuration = p.parseInt(line, 1);
+        } else if (head == "qubit") {
+            int h = p.parseInt(line, 1);
             if (h < 0 || h >= static_cast<int>(nq))
-                QC_FATAL("calibration line ", line.number,
-                         ": qubit id out of range");
+                p.fail(line, line.tokens[1].column,
+                       "qubit id out of range");
             if (qubit_seen[h])
-                QC_FATAL("calibration line ", line.number,
-                         ": duplicate qubit ", h);
+                p.fail(line, line.tokens[1].column,
+                       "duplicate qubit " + std::to_string(h));
             qubit_seen[h] = true;
-            expectKeyword(line, 2, "t1");
-            cal.t1Us[h] = parseDouble(line, 3);
-            expectKeyword(line, 4, "t2");
-            cal.t2Us[h] = parseDouble(line, 5);
-            expectKeyword(line, 6, "readout");
-            cal.readoutError[h] = parseDouble(line, 7);
-        } else if (t[0] == "edge") {
-            int a = parseInt(line, 1);
-            int b = parseInt(line, 2);
+            p.expectKeyword(line, 2, "t1");
+            cal.t1Us[h] = p.parseDouble(line, 3);
+            p.expectKeyword(line, 4, "t2");
+            cal.t2Us[h] = p.parseDouble(line, 5);
+            p.expectKeyword(line, 6, "readout");
+            cal.readoutError[h] = p.parseDouble(line, 7);
+        } else if (head == "edge") {
+            int a = p.parseInt(line, 1);
+            int b = p.parseInt(line, 2);
             if (a < 0 || a >= static_cast<int>(nq) || b < 0 ||
                 b >= static_cast<int>(nq)) {
-                QC_FATAL("calibration line ", line.number,
-                         ": edge endpoint out of range");
+                p.fail(line, line.tokens[1].column,
+                       "edge endpoint out of range");
             }
             EdgeId e = topo.edgeBetween(a, b);
             if (e == kInvalidEdge)
-                QC_FATAL("calibration line ", line.number, ": (", a,
-                         ",", b, ") is not a coupling edge");
+                p.fail(line, line.tokens[1].column,
+                       "(" + std::to_string(a) + "," +
+                           std::to_string(b) +
+                           ") is not a coupling edge");
             if (edge_seen[e])
-                QC_FATAL("calibration line ", line.number,
-                         ": duplicate edge");
+                p.fail(line, line.tokens[1].column, "duplicate edge");
             edge_seen[e] = true;
-            expectKeyword(line, 3, "error");
-            cal.cnotError[e] = parseDouble(line, 4);
-            expectKeyword(line, 5, "duration");
-            cal.cnotDuration[e] = parseInt(line, 6);
+            p.expectKeyword(line, 3, "error");
+            cal.cnotError[e] = p.parseDouble(line, 4);
+            p.expectKeyword(line, 5, "duration");
+            cal.cnotDuration[e] = p.parseInt(line, 6);
         } else {
-            QC_FATAL("calibration line ", line.number,
-                     ": unknown directive '", t[0], "'");
+            p.fail(line, line.tokens[0].column,
+                   "unknown directive '" + head + "'");
         }
     }
 
     if (!header_seen)
-        QC_FATAL("calibration file missing 'calibration v1' header");
+        whole_file_error("missing 'calibration v1' header");
     if (!grid_seen)
-        QC_FATAL("calibration file missing 'grid'/'topology' "
-                 "declaration");
+        whole_file_error("missing 'grid'/'topology' declaration");
     for (size_t h = 0; h < nq; ++h)
         if (!qubit_seen[h])
-            QC_FATAL("calibration file missing qubit ", h);
+            whole_file_error("missing qubit " + std::to_string(h));
     for (size_t e = 0; e < ne; ++e)
         if (!edge_seen[e])
-            QC_FATAL("calibration file missing edge ", e, " (",
-                     topo.edge(static_cast<EdgeId>(e)).a, ",",
-                     topo.edge(static_cast<EdgeId>(e)).b, ")");
+            whole_file_error(
+                "missing edge " + std::to_string(e) + " (" +
+                std::to_string(topo.edge(static_cast<EdgeId>(e)).a) +
+                "," +
+                std::to_string(topo.edge(static_cast<EdgeId>(e)).b) +
+                ")");
 
     cal.validate(topo);
     return cal;

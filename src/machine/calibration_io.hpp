@@ -26,8 +26,33 @@
 
 #include "machine/calibration.hpp"
 #include "machine/topology.hpp"
+#include "support/logging.hpp"
 
 namespace qc {
+
+/**
+ * Structured calibration parse failure: the diagnostic names the
+ * source (file path or caller-supplied label), the 1-based line, and
+ * the 1-based column of the offending token, formatted
+ * "<source>:<line>:<column>: <detail>". Derives from FatalError so
+ * existing generic handlers keep working; line/column are 0 for
+ * whole-file problems (missing header, missing qubit/edge entries).
+ */
+class CalibParseError : public FatalError
+{
+  public:
+    CalibParseError(const std::string &source, int line, int column,
+                    const std::string &detail);
+
+    const std::string &source() const { return source_; }
+    int line() const { return line_; }
+    int column() const { return column_; }
+
+  private:
+    std::string source_;
+    int line_;
+    int column_;
+};
 
 /** Serialize a calibration snapshot (validated first). */
 std::string saveCalibration(const Calibration &cal,
@@ -36,10 +61,14 @@ std::string saveCalibration(const Calibration &cal,
 /**
  * Parse a calibration file. The embedded grid dimensions must match
  * `topo`; every qubit and edge must be specified exactly once.
- * Throws FatalError with a line number on malformed input.
+ * Numeric fields are parsed strictly (full token, range-checked);
+ * malformed input throws CalibParseError naming `source` (a file
+ * path or label for diagnostics), line and column — never a bare
+ * std::invalid_argument/std::out_of_range from the conversion.
  */
 Calibration loadCalibration(const std::string &text,
-                            const Topology &topo);
+                            const Topology &topo,
+                            const std::string &source = "calibration");
 
 } // namespace qc
 

@@ -6,7 +6,6 @@
 #include <limits>
 
 #include "ir/program_graph.hpp"
-#include "sched/tracking_router.hpp"
 #include "support/logging.hpp"
 
 namespace qc {
@@ -305,20 +304,9 @@ CompiledProgram
 GreedyETrackMapper::compile(const Circuit &prog)
 {
     auto t0 = Clock::now();
-    std::vector<HwQubit> layout = greedyEdgePlacement(machine_, prog);
-
-    TrackingRouter router(machine_);
-    TrackingResult routed = router.run(prog, layout);
-
-    CompiledProgram out;
-    out.programName = prog.name();
+    CompiledProgram out = finalizeTracked(
+        machine_, prog, greedyEdgePlacement(machine_, prog));
     out.mapperName = name();
-    out.layout = std::move(layout);
-    out.schedule = std::move(routed.schedule);
-    out.duration = out.schedule.makespan;
-    out.swapCount = routed.swapCount;
-    out.predictedSuccess = routed.predictedSuccess;
-    out.logReliability = std::log(routed.predictedSuccess);
     out.compileSeconds =
         std::chrono::duration<double>(Clock::now() - t0).count();
     return out;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "sched/tracking_router.hpp"
 #include "support/logging.hpp"
 
 namespace qc {
@@ -30,6 +31,24 @@ predictLogReliability(const Machine &machine, const Circuit &prog,
         }
     }
     return log_rel;
+}
+
+CompiledProgram
+finalizeTracked(const Machine &machine, const Circuit &prog,
+                std::vector<HwQubit> layout)
+{
+    TrackingRouter router(machine);
+    TrackingResult routed = router.run(prog, layout);
+
+    CompiledProgram out;
+    out.programName = prog.name();
+    out.layout = std::move(layout);
+    out.schedule = std::move(routed.schedule);
+    out.duration = out.schedule.makespan;
+    out.swapCount = routed.swapCount;
+    out.predictedSuccess = routed.predictedSuccess;
+    out.logReliability = std::log(routed.predictedSuccess);
+    return out;
 }
 
 CompiledProgram

@@ -65,6 +65,16 @@ double predictLogReliability(const Machine &machine,
                              const ListScheduler &scheduler);
 
 /**
+ * Shared epilogue of the live-tracking mappers (GreedyE*+track,
+ * Sabre): route `prog` from `layout` with the TrackingRouter and
+ * assemble the CompiledProgram — prediction comes inline from the
+ * emitted hardware ops. The caller fills mapperName/compileSeconds.
+ */
+CompiledProgram finalizeTracked(const Machine &machine,
+                                const Circuit &prog,
+                                std::vector<HwQubit> layout);
+
+/**
  * Abstract compiler backend: placement + routing + scheduling for one
  * machine-day. Implementations must be deterministic.
  */

@@ -65,7 +65,9 @@ fingerprintOptions(const CompilerOptions &options)
         .mix(static_cast<int>(options.policy))
         .mix(options.readoutWeight)
         .mix(static_cast<std::uint64_t>(options.smtTimeoutMs))
-        .mix(options.jointScheduling);
+        .mix(options.jointScheduling)
+        .mix(options.sabreIterations)
+        .mix(options.sabreLookahead);
     return fp.value();
 }
 

@@ -106,6 +106,64 @@ TEST_F(CalibrationIo, MalformedLinesRejected)
                  FatalError); // not a coupling edge
 }
 
+TEST_F(CalibrationIo, MalformedNumericFieldIsStructuredParseError)
+{
+    // A corrupted numeric token must surface as CalibParseError
+    // naming source, line and column — never as std::invalid_argument
+    // or std::out_of_range escaping the loader.
+    Calibration cal = model_.forDay(0);
+    std::string text = saveCalibration(cal, topo_);
+    auto pos = text.find("t1 ");
+    auto end = text.find(' ', pos + 3);
+    text.replace(pos + 3, end - pos - 3, "8..5e");
+
+    try {
+        loadCalibration(text, topo_, "day0.cal");
+        FAIL() << "expected CalibParseError";
+    } catch (const CalibParseError &e) {
+        EXPECT_EQ(e.source(), "day0.cal");
+        EXPECT_GT(e.line(), 0);
+        EXPECT_GT(e.column(), 0);
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("day0.cal:"), std::string::npos) << msg;
+        EXPECT_NE(msg.find(":" + std::to_string(e.line()) + ":"),
+                  std::string::npos)
+            << msg;
+        EXPECT_NE(msg.find("8..5e"), std::string::npos) << msg;
+    }
+}
+
+TEST_F(CalibrationIo, NumericFieldsAreParsedStrictly)
+{
+    Calibration cal = model_.forDay(0);
+    std::string good = saveCalibration(cal, topo_);
+    // Trailing garbage after a number: std::stod would silently take
+    // the prefix; the strict parser rejects it.
+    EXPECT_THROW(loadCalibration(good + "day 3x\n", topo_),
+                 CalibParseError);
+    // A huge exponent used to throw std::out_of_range past the loader.
+    EXPECT_THROW(loadCalibration(good + "day 99999999999999999999\n",
+                                 topo_),
+                 CalibParseError);
+    std::string overflow = good;
+    auto pos = overflow.find("readout ");
+    overflow.replace(pos + 8,
+                     overflow.find('\n', pos) - pos - 8, "1e999");
+    EXPECT_THROW(loadCalibration(overflow, topo_), CalibParseError);
+    // And non-integral integers are no longer silently truncated.
+    EXPECT_THROW(loadCalibration(good + "day 3.7\n", topo_),
+                 CalibParseError);
+}
+
+TEST_F(CalibrationIo, ParseErrorsRemainCatchableAsFatalError)
+{
+    // The pre-existing contract (and every caller's handler).
+    Calibration cal = model_.forDay(0);
+    std::string good = saveCalibration(cal, topo_);
+    EXPECT_THROW(loadCalibration(good + "day oops\n", topo_),
+                 FatalError);
+}
+
 TEST_F(CalibrationIo, OutOfRangeValuesRejectedByValidation)
 {
     Calibration cal = model_.forDay(0);

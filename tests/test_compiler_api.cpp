@@ -20,7 +20,7 @@ TEST(MapperKind, NamesRoundTrip)
     for (MapperKind k : kAllMapperKinds)
         EXPECT_EQ(mapperKindFromName(mapperKindName(k)), k)
             << mapperKindName(k);
-    EXPECT_THROW(mapperKindFromName("SABRE"), FatalError);
+    EXPECT_THROW(mapperKindFromName("warp"), FatalError);
 }
 
 TEST(MapperKind, NamesAreCaseAndSeparatorInsensitive)
@@ -49,16 +49,19 @@ TEST(MapperKind, CommonAliasesAreAccepted)
     EXPECT_EQ(mapperKindFromName("greedyetrack"),
               MapperKind::GreedyETrack);
     EXPECT_EQ(mapperKindFromName("baseline"), MapperKind::Qiskit);
+    EXPECT_EQ(mapperKindFromName("sabre"), MapperKind::Sabre);
+    EXPECT_EQ(mapperKindFromName("SABRE"), MapperKind::Sabre);
+    EXPECT_EQ(mapperKindFromName("sabre+track"), MapperKind::Sabre);
 }
 
 TEST(MapperKind, UnknownNameErrorListsInputAndValidNames)
 {
     try {
-        mapperKindFromName("SABRE");
+        mapperKindFromName("warp");
         FAIL() << "expected FatalError";
     } catch (const FatalError &e) {
         const std::string msg = e.what();
-        EXPECT_NE(msg.find("SABRE"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("warp"), std::string::npos) << msg;
         for (MapperKind k : kAllMapperKinds)
             EXPECT_NE(msg.find(mapperKindName(k)), std::string::npos)
                 << "missing " << mapperKindName(k) << " in: " << msg;

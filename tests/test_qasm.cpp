@@ -63,6 +63,28 @@ TEST(QasmParse, Errors)
     EXPECT_THROW(parseQasm("qreg q[2]; h q[0]"), FatalError); // no ';'
 }
 
+TEST(QasmParse, OversizedIndexIsParseDiagnosticWithLineNumber)
+{
+    // q[99999999999] overflows int: that must be a QASM parse
+    // diagnostic naming the line, not std::out_of_range escaping
+    // from std::stoi.
+    try {
+        parseQasm("OPENQASM 2.0;\nqreg q[4];\nh q[99999999999];\n");
+        FAIL() << "expected FatalError";
+    } catch (const FatalError &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("qasm line 3"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("99999999999"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("out of range"), std::string::npos) << msg;
+    }
+
+    // The same guard covers register declarations, and the largest
+    // representable index still parses (range check, not a cap).
+    EXPECT_THROW(parseQasm("qreg q[99999999999];"), FatalError);
+    EXPECT_EQ(parseQasm("qreg q[2147483647];").numQubits(),
+              2147483647);
+}
+
 TEST(QasmParse, CommentsAndBarriersIgnored)
 {
     Circuit c = parseQasm("// header\nOPENQASM 2.0;\nqreg q[2];\n"

@@ -34,17 +34,29 @@ runners whose absolute speed varies run to run:
   baseline); ``--absolute`` additionally gates them at the same
   threshold for tightly-controlled environments.
 
+* **``psuccess``-keyed metrics** (``psuccess``, ``sabre_psuccess``,
+  ...) are quality floors, not timings: the mapper's predicted
+  success probability is deterministic for a fixed seed, so any drop
+  below ``baseline * (1 - --success-threshold)`` (default 0: never
+  regress) fails. This is how ``bench_ablation --json`` gates the
+  sabre placement pass against its committed quality baseline.
+  ``--no-exact`` downgrades these to warnings too (the synthetic
+  calibration is toolchain-specific, like the invariant counts).
+
 Usage:
     bench_check.py CURRENT.json BASELINE.json [--threshold 0.25]
-                   [--min-ref-seconds 0.004] [--absolute] [--no-exact]
+                   [--min-ref-seconds 0.004] [--success-threshold 0.0]
+                   [--absolute] [--no-exact]
 """
 
 import argparse
 import json
 import sys
 
-INVARIANT_KEYS = ("makespan", "swaps", "identical", "compiles")
+INVARIANT_KEYS = ("makespan", "swaps", "identical", "compiles",
+                  "wins", "regressed")
 GATED_RATIO_KEY = "speedup"
+SUCCESS_FLOOR_SUFFIX = "psuccess"
 
 
 def load(path):
@@ -94,6 +106,19 @@ def check_metrics(label, current, baseline, args, failures):
                     verdict = "skipped (reference too fast to gate)"
             print(f"  {label}: speedup {cur_val:.2f} "
                   f"(baseline {base_val:.2f}) {verdict}")
+        elif key == SUCCESS_FLOOR_SUFFIX or \
+                key.endswith("_" + SUCCESS_FLOOR_SUFFIX):
+            # Quality floor: predicted success must not regress below
+            # the committed baseline (minus the explicit allowance).
+            floor = base_val * (1.0 - args.success_threshold) - 1e-9
+            if cur_val < floor:
+                msg = (f"{label}: {key} {cur_val:.6g} fell below "
+                       f"baseline {base_val:.6g} "
+                       f"(-{args.success_threshold:.0%} allowed)")
+                if args.no_exact:
+                    print(f"  WARN {msg}")
+                else:
+                    failures.append(msg)
         elif key.endswith("_s") and args.absolute:
             ceil = base_val * (1.0 + args.threshold)
             if cur_val > ceil:
@@ -115,6 +140,10 @@ def main():
                         help="gate speedup only where the baseline "
                              "reference run is at least this long "
                              "(default 0.004s)")
+    parser.add_argument("--success-threshold", type=float, default=0.0,
+                        help="allowed relative drop in psuccess "
+                             "quality floors (default 0 = never "
+                             "regress below the baseline)")
     parser.add_argument("--absolute", action="store_true",
                         help="also gate absolute *_s wall seconds "
                              "(only meaningful on dedicated hardware)")

@@ -32,6 +32,7 @@
 #include "machine/calibration_io.hpp"
 #include "service/compile_service.hpp"
 #include "sim/executor.hpp"
+#include "support/cli.hpp"
 #include "support/logging.hpp"
 #include "support/table.hpp"
 
@@ -56,6 +57,8 @@ struct CliOptions
     std::uint64_t seed = 20190131;
     double omega = 0.5;
     unsigned timeoutMs = 60'000;
+    int sabreIterations = 3;
+    int sabreLookahead = 20;
     int simulateTrials = 0;
     bool report = false;
     bool trace = false;
@@ -73,9 +76,9 @@ printUsage(std::ostream &os)
           "  --out FILE           write compiled OpenQASM here "
           "(default: stdout)\n"
           "  --mapper NAME        Qiskit | T-SMT | T-SMT* | R-SMT* | "
-          "GreedyV* | GreedyE* | GreedyE*+track\n"
+          "GreedyV* | GreedyE* | GreedyE*+track | Sabre\n"
           "                       (case-insensitive; aliases like "
-          "'rsmt*' or 'track' work)\n"
+          "'rsmt*', 'track' or 'sabre' work)\n"
           "  --topology SPEC      machine coupling graph: "
           "grid:RxC | heavyhex:D |\n"
           "                       ring:N | linear:N | file:PATH "
@@ -92,6 +95,10 @@ printUsage(std::ostream &os)
           "(default 0.5)\n"
           "  --timeout MS         SMT budget in milliseconds (default "
           "60000)\n"
+          "  --sabre-iterations N Sabre refinement round trips "
+          "(default 3)\n"
+          "  --sabre-lookahead W  Sabre lookahead window in CNOTs "
+          "(default 20)\n"
           "  --days D             batch: compile against D days "
           "starting at --day\n"
           "  --jobs N             batch: run on a compile service "
@@ -117,7 +124,8 @@ parseArgs(int argc, char **argv)
     CliOptions opts;
     auto need = [&](int &i, const char *flag) -> std::string {
         if (i + 1 >= argc)
-            QC_FATAL("missing value for ", flag);
+            throw cli::UsageError(std::string("missing value for ") +
+                                  flag);
         return argv[++i];
     };
     for (int i = 1; i < argc; ++i) {
@@ -131,10 +139,10 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--topology") {
             opts.topology = need(i, "--topology");
         } else if (arg == "--rows") {
-            opts.rows = std::stoi(need(i, "--rows"));
+            opts.rows = cli::parseIntFlag("--rows", need(i, "--rows"));
             opts.gridFlagsUsed = true;
         } else if (arg == "--cols") {
-            opts.cols = std::stoi(need(i, "--cols"));
+            opts.cols = cli::parseIntFlag("--cols", need(i, "--cols"));
             opts.gridFlagsUsed = true;
         } else if (arg == "--list-topologies") {
             std::cout << topologySpecHelp() << "\n";
@@ -142,22 +150,31 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--calibration") {
             opts.calibrationPath = need(i, "--calibration");
         } else if (arg == "--seed") {
-            opts.seed = std::stoull(need(i, "--seed"));
+            opts.seed = cli::parseUint64Flag("--seed",
+                                             need(i, "--seed"));
         } else if (arg == "--day") {
-            opts.day = std::stoi(need(i, "--day"));
+            opts.day = cli::parseIntFlag("--day", need(i, "--day"));
         } else if (arg == "--days") {
-            opts.days = std::stoi(need(i, "--days"));
+            opts.days = cli::parseIntFlag("--days", need(i, "--days"));
         } else if (arg == "--jobs") {
-            opts.jobs = std::stoi(need(i, "--jobs"));
+            opts.jobs = cli::parseIntFlag("--jobs", need(i, "--jobs"));
             if (opts.jobs < 1)
                 QC_FATAL("--jobs must be >= 1");
         } else if (arg == "--omega") {
-            opts.omega = std::stod(need(i, "--omega"));
+            opts.omega = cli::parseDoubleFlag("--omega",
+                                              need(i, "--omega"));
         } else if (arg == "--timeout") {
-            opts.timeoutMs = static_cast<unsigned>(
-                std::stoul(need(i, "--timeout")));
+            opts.timeoutMs = cli::parseUnsignedFlag(
+                "--timeout", need(i, "--timeout"));
+        } else if (arg == "--sabre-iterations") {
+            opts.sabreIterations = cli::parseIntFlag(
+                "--sabre-iterations", need(i, "--sabre-iterations"));
+        } else if (arg == "--sabre-lookahead") {
+            opts.sabreLookahead = cli::parseIntFlag(
+                "--sabre-lookahead", need(i, "--sabre-lookahead"));
         } else if (arg == "--simulate") {
-            opts.simulateTrials = std::stoi(need(i, "--simulate"));
+            opts.simulateTrials = cli::parseIntFlag(
+                "--simulate", need(i, "--simulate"));
         } else if (arg == "--expected") {
             opts.expected = need(i, "--expected");
         } else if (arg == "--report") {
@@ -236,6 +253,8 @@ runBatch(const CliOptions &opts)
     copts.mapper = mapperKindFromName(opts.mapper);
     copts.readoutWeight = opts.omega;
     copts.smtTimeoutMs = opts.timeoutMs;
+    copts.sabreIterations = opts.sabreIterations;
+    copts.sabreLookahead = opts.sabreLookahead;
 
     std::vector<std::pair<std::string, Circuit>> programs;
     for (const std::string &path : opts.qasmPaths) {
@@ -322,7 +341,8 @@ runCli(const CliOptions &opts)
     Topology topo = topologyFromOptions(opts);
     Calibration cal;
     if (!opts.calibrationPath.empty()) {
-        cal = loadCalibration(readInput(opts.calibrationPath), topo);
+        cal = loadCalibration(readInput(opts.calibrationPath), topo,
+                              opts.calibrationPath);
     } else {
         CalibrationModel model(topo, opts.seed);
         cal = model.forDay(opts.day);
@@ -332,6 +352,8 @@ runCli(const CliOptions &opts)
     copts.mapper = mapperKindFromName(opts.mapper);
     copts.readoutWeight = opts.omega;
     copts.smtTimeoutMs = opts.timeoutMs;
+    copts.sabreIterations = opts.sabreIterations;
+    copts.sabreLookahead = opts.sabreLookahead;
 
     auto machine = std::make_shared<const Machine>(topo, cal);
     Pipeline pipeline = standardPipeline(machine, copts);
@@ -414,6 +436,9 @@ main(int argc, char **argv)
             return 0;
         }
         return runCli(opts);
+    } catch (const qc::cli::UsageError &e) {
+        std::cerr << "naqc: " << e.what() << "\n";
+        return e.exitCode();
     } catch (const qc::FatalError &e) {
         std::cerr << "naqc: " << e.what() << "\n";
         return 1;
