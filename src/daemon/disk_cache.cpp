@@ -1,0 +1,144 @@
+#include "disk_cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "daemon/program_serdes.hpp"
+#include "support/logging.hpp"
+
+namespace qc::daemon {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+DiskCacheStore::DiskCacheStore(const std::string &dir) : dir_(dir)
+{
+    if (dir_.empty())
+        return;
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec || !fs::is_directory(dir_))
+        QC_FATAL("cannot create cache directory '", dir_,
+                 "': ", ec.message());
+}
+
+std::string
+DiskCacheStore::entryPath(const service::CacheKey &key) const
+{
+    return dir_ + "/" + hex16(key.circuit) + "-" +
+           hex16(key.calibration) + "-" + hex16(key.options) + ".ncp";
+}
+
+std::shared_ptr<const CompiledProgram>
+DiskCacheStore::load(const service::CacheKey &key)
+{
+    if (!enabled())
+        return nullptr;
+    const std::string path = entryPath(key);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.loadMisses;
+        return nullptr;
+    }
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    const std::string bytes = oss.str();
+
+    auto program = std::make_shared<CompiledProgram>();
+    if (!deserializeCompiledProgram(bytes, *program)) {
+        // Corrupt/stale entry: drop it so a later store can heal the
+        // slot, and report a miss — the caller recompiles.
+        std::error_code ec;
+        fs::remove(path, ec);
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.corruptRejected;
+        return nullptr;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.loads;
+    return program;
+}
+
+bool
+DiskCacheStore::store(const service::CacheKey &key,
+                      const CompiledProgram &program)
+{
+    if (!enabled())
+        return false;
+    const std::string bytes = serializeCompiledProgram(program);
+    const std::string path = entryPath(key);
+
+    std::uint64_t serial = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        serial = tempCounter_++;
+    }
+    // Unique temp name per in-flight writer, then an atomic rename:
+    // readers only ever see complete entries.
+    const std::string temp =
+        path + ".tmp." + std::to_string(serial);
+
+    bool ok = false;
+    {
+        std::ofstream out(temp,
+                          std::ios::binary | std::ios::trunc);
+        ok = static_cast<bool>(out.write(bytes.data(),
+                                         static_cast<std::streamsize>(
+                                             bytes.size())));
+        ok = ok && static_cast<bool>(out.flush());
+    }
+    if (ok) {
+        std::error_code ec;
+        fs::rename(temp, path, ec);
+        ok = !ec;
+    }
+    if (!ok) {
+        std::error_code ec;
+        fs::remove(temp, ec);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ok) {
+        ++stats_.stores;
+        stats_.bytesWritten += bytes.size();
+    } else {
+        ++stats_.storeFailures;
+    }
+    return ok;
+}
+
+std::size_t
+DiskCacheStore::entryCount() const
+{
+    if (!enabled())
+        return 0;
+    std::size_t n = 0;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir_, ec))
+        if (entry.path().extension() == ".ncp")
+            ++n;
+    return n;
+}
+
+DiskCacheStats
+DiskCacheStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+} // namespace qc::daemon

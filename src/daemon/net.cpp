@@ -1,0 +1,138 @@
+#include "net.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace qc::daemon {
+
+namespace {
+
+bool
+fillAddress(const std::string &path, sockaddr_un &addr,
+            std::string &error)
+{
+    if (path.size() >= sizeof(addr.sun_path)) {
+        error = "socket path too long: " + path;
+        return false;
+    }
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+std::string
+errnoText(const std::string &what)
+{
+    return what + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+int
+listenUnix(const std::string &path, std::string &error)
+{
+    sockaddr_un addr;
+    if (!fillAddress(path, addr, error))
+        return -1;
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = errnoText("socket");
+        return -1;
+    }
+    ::unlink(path.c_str()); // stale socket from a previous run
+    if (::bind(fd, reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        error = errnoText("bind");
+        ::close(fd);
+        return -1;
+    }
+    if (::listen(fd, 64) != 0) {
+        error = errnoText("listen");
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path, std::string &error)
+{
+    sockaddr_un addr;
+    if (!fillAddress(path, addr, error))
+        return -1;
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = errnoText("socket");
+        return -1;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        error = errnoText("connect " + path);
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+LineChannel::~LineChannel()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+LineChannel::readLine(std::string &line)
+{
+    for (;;) {
+        std::size_t nl = buffer_.find('\n');
+        if (nl != std::string::npos) {
+            line.assign(buffer_, 0, nl);
+            buffer_.erase(0, nl + 1);
+            if (!line.empty() && line.back() == '\r')
+                line.pop_back();
+            return true;
+        }
+        char chunk[4096];
+        ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (n == 0)
+            return false; // EOF; any partial line is dropped
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+}
+
+bool
+LineChannel::writeLine(const std::string &line)
+{
+    return writeText(line + "\n");
+}
+
+bool
+LineChannel::writeText(const std::string &text)
+{
+    std::size_t sent = 0;
+    while (sent < text.size()) {
+        ssize_t n =
+            ::write(fd_, text.data() + sent, text.size() - sent);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace qc::daemon

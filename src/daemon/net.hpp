@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Minimal Unix-domain-socket plumbing for the compile daemon.
+ *
+ * Wraps the handful of POSIX calls naqcd and naqc-client need —
+ * listen on / connect to a filesystem socket path, and read/write
+ * '\n'-delimited lines over a file descriptor — so the tools stay
+ * free of raw socket code. Blocking I/O only; the daemon uses one
+ * thread per connection and a poll(2) loop around accept.
+ */
+
+#ifndef QC_DAEMON_NET_HPP
+#define QC_DAEMON_NET_HPP
+
+#include <string>
+
+namespace qc::daemon {
+
+/**
+ * Create, bind, and listen on a Unix stream socket at `path`. Any
+ * stale socket file at `path` is removed first. Returns the listening
+ * fd, or -1 with `error` filled in.
+ */
+int listenUnix(const std::string &path, std::string &error);
+
+/**
+ * Connect to the Unix stream socket at `path`. Returns the connected
+ * fd, or -1 with `error` filled in.
+ */
+int connectUnix(const std::string &path, std::string &error);
+
+/**
+ * Buffered line-oriented reader/writer over one socket fd. Owns the
+ * fd and closes it on destruction.
+ */
+class LineChannel
+{
+  public:
+    explicit LineChannel(int fd) : fd_(fd) {}
+    ~LineChannel();
+
+    LineChannel(const LineChannel &) = delete;
+    LineChannel &operator=(const LineChannel &) = delete;
+
+    /**
+     * Read one line (without the trailing '\n') into `line`. Returns
+     * false on EOF or error with nothing (or a partial final line)
+     * pending.
+     */
+    bool readLine(std::string &line);
+
+    /** Write `line` plus '\n'; false on error. */
+    bool writeLine(const std::string &line);
+
+    /** Write raw text exactly as given; false on error. */
+    bool writeText(const std::string &text);
+
+    int fd() const { return fd_; }
+
+  private:
+    int fd_ = -1;
+    std::string buffer_; ///< bytes read but not yet returned
+};
+
+} // namespace qc::daemon
+
+#endif // QC_DAEMON_NET_HPP

@@ -1,0 +1,141 @@
+#include "submission_queue.hpp"
+
+#include <thread>
+
+#include "support/fingerprint.hpp"
+#include "support/logging.hpp"
+
+namespace qc::daemon {
+
+const char *
+laneName(Lane lane)
+{
+    switch (lane) {
+    case Lane::High:
+        return "high";
+    case Lane::Normal:
+        return "normal";
+    case Lane::Low:
+        return "low";
+    }
+    return "?";
+}
+
+bool
+laneFromName(const std::string &name, Lane &out)
+{
+    if (name == "high")
+        out = Lane::High;
+    else if (name == "normal")
+        out = Lane::Normal;
+    else if (name == "low")
+        out = Lane::Low;
+    else
+        return false;
+    return true;
+}
+
+ShardedSubmissionQueue::ShardedSubmissionQueue(int shards)
+{
+    QC_ASSERT(shards >= 1, "queue needs at least one shard");
+    shards_.reserve(static_cast<std::size_t>(shards));
+    for (int i = 0; i < shards; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+int
+ShardedSubmissionQueue::shardForTenant(const std::string &tenant) const
+{
+    Fingerprint fp;
+    fp.mix(tenant);
+    return static_cast<int>(fp.value() %
+                            static_cast<std::uint64_t>(
+                                shards_.size()));
+}
+
+void
+ShardedSubmissionQueue::push(int shard, Lane lane,
+                             std::uint64_t job_id)
+{
+    QC_ASSERT(shard >= 0 && shard < numShards(),
+              "shard out of range");
+    {
+        std::lock_guard<std::mutex> lock(shards_[static_cast<std::size_t>(
+                                                     shard)]
+                                             ->mu);
+        shards_[static_cast<std::size_t>(shard)]
+            ->lanes[static_cast<std::size_t>(lane)]
+            .push_back(job_id);
+    }
+    std::lock_guard<std::mutex> lock(statsMu_);
+    ++pushes_;
+}
+
+bool
+ShardedSubmissionQueue::tryPop(int home_shard, std::uint64_t &job_id,
+                               bool &stolen)
+{
+    const int n = numShards();
+    QC_ASSERT(home_shard >= 0 && home_shard < n,
+              "home shard out of range");
+    // Lane-major: every shard's high lane outranks any normal-lane
+    // job, and within a lane the home shard is tried first.
+    for (int lane = 0; lane < kNumLanes; ++lane) {
+        for (int offset = 0; offset < n; ++offset) {
+            const int s = (home_shard + offset) % n;
+            Shard &shard = *shards_[static_cast<std::size_t>(s)];
+            std::lock_guard<std::mutex> lock(shard.mu);
+            auto &q = shard.lanes[static_cast<std::size_t>(lane)];
+            if (q.empty())
+                continue;
+            job_id = q.front();
+            q.pop_front();
+            stolen = offset != 0;
+            std::lock_guard<std::mutex> stats_lock(statsMu_);
+            ++pops_;
+            if (stolen)
+                ++steals_;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::uint64_t
+ShardedSubmissionQueue::popReserved(int home_shard)
+{
+    std::uint64_t job_id = 0;
+    bool stolen = false;
+    while (!tryPop(home_shard, job_id, stolen))
+        std::this_thread::yield();
+    return job_id;
+}
+
+std::size_t
+ShardedSubmissionQueue::depth() const
+{
+    std::size_t n = 0;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        n += shard->depthLocked();
+    }
+    return n;
+}
+
+QueueStats
+ShardedSubmissionQueue::stats() const
+{
+    QueueStats s;
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        s.shardDepth.push_back(shard->depthLocked());
+        s.depth += s.shardDepth.back();
+    }
+    std::lock_guard<std::mutex> lock(statsMu_);
+    s.pushes = pushes_;
+    s.pops = pops_;
+    s.steals = steals_;
+    return s;
+}
+
+} // namespace qc::daemon

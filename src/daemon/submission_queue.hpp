@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Sharded, priority-laned submission queue for the compile daemon.
+ *
+ * Admitted jobs land in one of N shards (a tenant always hashes to
+ * the same shard, so one noisy tenant contends on one lock, not all
+ * of them), each shard holding three FIFO lanes — high / normal /
+ * low. Consumers pop lane-major: the high lane of every shard drains
+ * before any normal-lane job runs, and a consumer whose home shard's
+ * lane is empty steals from sibling shards (Galois-style work
+ * stealing: distribution for throughput, stealing for balance).
+ *
+ * The queue stores opaque job ids; ownership of job state lives in
+ * the daemon. Each push is paired with one consumer activation (the
+ * daemon submits a pump task to its ThreadPool per admitted job), so
+ * pop() is reservation-based: with pushes >= pops outstanding it
+ * always finds a job, spinning across shards through any transient
+ * push/steal race.
+ */
+
+#ifndef QC_DAEMON_SUBMISSION_QUEUE_HPP
+#define QC_DAEMON_SUBMISSION_QUEUE_HPP
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qc::daemon {
+
+/** Priority lane; lower value drains first. */
+enum class Lane { High = 0, Normal = 1, Low = 2 };
+
+inline constexpr int kNumLanes = 3;
+
+const char *laneName(Lane lane);
+
+/** Parse "high" / "normal" / "low" (exact); false on anything else. */
+bool laneFromName(const std::string &name, Lane &out);
+
+/** Snapshot of queue occupancy and traffic. */
+struct QueueStats
+{
+    std::uint64_t pushes = 0;
+    std::uint64_t pops = 0;
+    std::uint64_t steals = 0; ///< pops served from a non-home shard
+    std::vector<std::size_t> shardDepth; ///< per-shard queued jobs
+    std::size_t depth = 0;               ///< total queued jobs
+};
+
+class ShardedSubmissionQueue
+{
+  public:
+    /** @param shards shard count (>= 1). */
+    explicit ShardedSubmissionQueue(int shards);
+
+    int numShards() const { return static_cast<int>(shards_.size()); }
+
+    /** Stable home shard for a tenant (FNV of the name mod shards). */
+    int shardForTenant(const std::string &tenant) const;
+
+    void push(int shard, Lane lane, std::uint64_t job_id);
+
+    /**
+     * Pop the best available job: lane-major over all shards,
+     * preferring `home_shard` within a lane. Returns false only when
+     * every shard is empty; `stolen` reports whether the job came
+     * from a foreign shard.
+     */
+    bool tryPop(int home_shard, std::uint64_t &job_id, bool &stolen);
+
+    /**
+     * Reservation-based pop: the caller knows a job was pushed for
+     * it, so spin on tryPop until one materializes (yielding between
+     * full scans to ride out push/steal races).
+     */
+    std::uint64_t popReserved(int home_shard);
+
+    std::size_t depth() const;
+    QueueStats stats() const;
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::array<std::deque<std::uint64_t>, kNumLanes> lanes;
+
+        std::size_t
+        depthLocked() const
+        {
+            std::size_t n = 0;
+            for (const auto &lane : lanes)
+                n += lane.size();
+            return n;
+        }
+    };
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    mutable std::mutex statsMu_;
+    std::uint64_t pushes_ = 0;
+    std::uint64_t pops_ = 0;
+    std::uint64_t steals_ = 0;
+};
+
+} // namespace qc::daemon
+
+#endif // QC_DAEMON_SUBMISSION_QUEUE_HPP

@@ -2,7 +2,26 @@
 
 namespace qc::service {
 
-CompileCache::CompileCache(std::size_t capacity) : capacity_(capacity)
+std::size_t
+approxProgramBytes(const CompiledProgram &program)
+{
+    std::size_t n = sizeof(CompiledProgram);
+    n += program.mapperName.size() + program.programName.size() +
+         program.solverStatus.size();
+    n += program.layout.size() * sizeof(HwQubit);
+    n += program.junctions.size() * sizeof(int);
+    n += program.schedule.ops.size() * sizeof(TimedOp);
+    n += program.schedule.macros.size() * sizeof(MacroTiming);
+    n += program.schedule.qubitFinish.size() * sizeof(Timeslot);
+    for (const StageTrace &t : program.stageTraces)
+        n += sizeof(StageTrace) + t.stage.size() + t.pass.size() +
+             t.note.size();
+    return n;
+}
+
+CompileCache::CompileCache(std::size_t capacity,
+                           std::size_t byteCapacity)
+    : capacity_(capacity), byteCapacity_(byteCapacity)
 {
 }
 
@@ -17,7 +36,7 @@ CompileCache::lookup(const CacheKey &key)
     }
     ++stats_.hits;
     lru_.splice(lru_.begin(), lru_, it->second); // promote to MRU
-    return it->second->second;
+    return it->second->program;
 }
 
 void
@@ -26,19 +45,35 @@ CompileCache::insert(const CacheKey &key,
 {
     if (capacity_ == 0)
         return;
+    const std::size_t entry_bytes =
+        program ? approxProgramBytes(*program) : 0;
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.insertions;
     auto it = map_.find(key);
     if (it != map_.end()) {
-        it->second->second = std::move(program);
+        bytes_ -= it->second->bytes;
+        bytes_ += entry_bytes;
+        it->second->program = std::move(program);
+        it->second->bytes = entry_bytes;
         lru_.splice(lru_.begin(), lru_, it->second);
+        evictLocked();
         return;
     }
-    lru_.emplace_front(key, std::move(program));
+    lru_.push_front(Entry{key, std::move(program), entry_bytes});
     map_[key] = lru_.begin();
-    if (map_.size() > capacity_) {
+    bytes_ += entry_bytes;
+    evictLocked();
+}
+
+void
+CompileCache::evictLocked()
+{
+    while (map_.size() > capacity_ ||
+           (byteCapacity_ > 0 && bytes_ > byteCapacity_ &&
+            map_.size() > 1)) {
         ++stats_.evictions;
-        map_.erase(lru_.back().first);
+        bytes_ -= lru_.back().bytes;
+        map_.erase(lru_.back().key);
         lru_.pop_back();
     }
 }
@@ -50,11 +85,21 @@ CompileCache::size() const
     return map_.size();
 }
 
+std::size_t
+CompileCache::sizeBytes() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_;
+}
+
 CompileCacheStats
 CompileCache::stats() const
 {
     std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
+    CompileCacheStats s = stats_;
+    s.entries = map_.size();
+    s.bytes = bytes_;
+    return s;
 }
 
 void
@@ -63,6 +108,7 @@ CompileCache::clear()
     std::lock_guard<std::mutex> lock(mu_);
     lru_.clear();
     map_.clear();
+    bytes_ = 0;
 }
 
 } // namespace qc::service

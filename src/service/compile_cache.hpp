@@ -59,6 +59,8 @@ struct CompileCacheStats
     std::uint64_t misses = 0;
     std::uint64_t evictions = 0;
     std::uint64_t insertions = 0;
+    std::uint64_t entries = 0; ///< resident entries right now
+    std::uint64_t bytes = 0;   ///< approximate resident bytes
 
     std::uint64_t lookups() const { return hits + misses; }
 
@@ -74,16 +76,28 @@ struct CompileCacheStats
 };
 
 /**
+ * Approximate in-memory footprint of one compiled program: the sum
+ * of its dynamic containers (schedule ops/macros, layout, traces,
+ * strings) plus the struct itself. Used for the cache's byte
+ * accounting, not exact allocator truth.
+ */
+std::size_t approxProgramBytes(const CompiledProgram &program);
+
+/**
  * Thread-safe LRU map: CacheKey -> shared immutable CompiledProgram.
  *
- * Capacity counts entries (CompiledPrograms are small — layout,
- * schedule, predictions — compared to the Machines the pool holds).
- * Capacity 0 disables caching entirely: lookups miss, inserts drop.
+ * Two capacity axes: `capacity` bounds entry count, `byteCapacity`
+ * (0 = unbounded) bounds the approximate resident bytes — the
+ * daemon's long-lived cache uses it so a parade of huge schedules
+ * cannot grow the heap without bound. Either bound evicts from the
+ * LRU tail. Capacity 0 disables caching entirely: lookups miss,
+ * inserts drop.
  */
 class CompileCache
 {
   public:
-    explicit CompileCache(std::size_t capacity = 1024);
+    explicit CompileCache(std::size_t capacity = 1024,
+                          std::size_t byteCapacity = 0);
 
     /** Fetch and promote to most-recently-used; null on miss. */
     std::shared_ptr<const CompiledProgram> lookup(const CacheKey &key);
@@ -97,18 +111,32 @@ class CompileCache
 
     std::size_t size() const;
     std::size_t capacity() const { return capacity_; }
+    std::size_t byteCapacity() const { return byteCapacity_; }
+
+    /** Approximate bytes held by resident entries. */
+    std::size_t sizeBytes() const;
+
     CompileCacheStats stats() const;
     void clear();
 
   private:
-    using LruList =
-        std::list<std::pair<CacheKey,
-                            std::shared_ptr<const CompiledProgram>>>;
+    struct Entry
+    {
+        CacheKey key;
+        std::shared_ptr<const CompiledProgram> program;
+        std::size_t bytes = 0;
+    };
+    using LruList = std::list<Entry>;
+
+    /** Drop LRU-tail entries until both capacity bounds hold. */
+    void evictLocked();
 
     const std::size_t capacity_;
+    const std::size_t byteCapacity_;
     mutable std::mutex mu_;
     LruList lru_; ///< front = most recently used
     std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> map_;
+    std::size_t bytes_ = 0; ///< sum of resident entry sizes
     CompileCacheStats stats_;
 };
 

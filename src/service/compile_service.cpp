@@ -24,9 +24,15 @@ secondsSince(std::chrono::steady_clock::time_point start)
 CompileService::CompileService(ServiceOptions options)
     : options_(options),
       machines_(options.machinePoolCapacity),
-      cache_(options.cacheCapacity),
+      cache_(options.cacheCapacity, options.cacheByteCapacity),
       pool_(options.threads)
 {
+}
+
+std::size_t
+CompileService::cancelPending()
+{
+    return pool_.cancelPending();
 }
 
 std::future<CompileResult>
@@ -219,7 +225,8 @@ ServiceReport::toString() const
         << " evictions\n"
         << "compile cache: " << cache.hits << "/" << cache.lookups()
         << " hits (rate " << cache.hitRate() << "), "
-        << cache.evictions << " evictions\n";
+        << cache.evictions << " evictions, " << cache.entries
+        << " entries / " << cache.bytes << " bytes\n";
     if (!stages.empty()) {
         oss << "stage breakdown:\n";
         for (const StageSummary &s : stages) {

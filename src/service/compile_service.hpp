@@ -46,6 +46,7 @@ struct ServiceOptions
 {
     int threads = 0;                ///< workers; <= 0 = hardware
     std::size_t cacheCapacity = 4096; ///< compile-cache entries; 0 off
+    std::size_t cacheByteCapacity = 0; ///< approx cache bytes; 0 = unbounded
     std::size_t machinePoolCapacity = 64; ///< LRU snapshots; 0 = unbounded
 };
 
@@ -180,6 +181,14 @@ class CompileService
      * Results come back in request order with a batch report.
      */
     BatchResult compileBatch(std::vector<CompileRequest> requests);
+
+    /**
+     * Drop jobs submitted but not yet started (their futures become
+     * broken promises — callers must not get() them). Returns the
+     * number cancelled. Used by naqc's SIGINT path to stop a batch
+     * without waiting out the whole queue.
+     */
+    std::size_t cancelPending();
 
     /**
      * Build the daily-recompilation workload: every program compiled

@@ -87,6 +87,21 @@ ThreadPool::shutdown()
 }
 
 std::size_t
+ThreadPool::cancelPending()
+{
+    std::deque<std::function<void()>> discarded;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        discarded.swap(queue_);
+        if (active_ == 0)
+            allIdle_.notify_all();
+    }
+    // Destroyed outside the lock: dropping a packaged_task breaks
+    // its promise, which may run arbitrary future-side destructors.
+    return discarded.size();
+}
+
+std::size_t
 ThreadPool::queueDepth() const
 {
     std::lock_guard<std::mutex> lock(mu_);

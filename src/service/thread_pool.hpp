@@ -66,6 +66,15 @@ class ThreadPool
     /** Block until every queued task has finished. */
     void waitIdle();
 
+    /**
+     * Discard every task that is queued but not yet running; tasks
+     * already executing finish normally. Futures of the discarded
+     * tasks are broken (std::future_error on get), so only use this
+     * when the caller abandons them — e.g. an interrupt path that
+     * reports partial results. Returns the number discarded.
+     */
+    std::size_t cancelPending();
+
     /** Stop accepting tasks; finish the queue; join the workers. */
     void shutdown();
 

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Persistent-cache serialization tests: a CompiledProgram must
+ * round-trip through the framed binary format field-for-field, and
+ * every damaged blob — truncation, bit flips, wrong magic, future
+ * version — must be rejected, never misparsed.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/compiler.hpp"
+#include "daemon/program_serdes.hpp"
+#include "tests/test_util.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace {
+
+using namespace qc;
+
+/** A hand-built program exercising every serialized field. */
+CompiledProgram
+sampleProgram()
+{
+    CompiledProgram p;
+    p.mapperName = "GreedyE*";
+    p.programName = "sample";
+    p.layout = {3, 1, 4, 1, 5};
+    p.junctions = {-1, 9, 2, -1};
+    p.schedule.numHwQubits = 6;
+    p.schedule.ops.push_back(
+        {Gate{Op::H, 3, kInvalidQubit, -1}, 0, 1, 0, false});
+    p.schedule.ops.push_back({Gate{Op::CNOT, 3, 1, -1}, 1, 10, 1, false});
+    p.schedule.ops.push_back({Gate{Op::Swap, 1, 4, -1}, 11, 30, 1, true});
+    p.schedule.ops.push_back({Gate{Op::Measure, 4, kInvalidQubit, 2},
+                              41, 12, 2, false});
+    p.schedule.macros.push_back({0, 0, 1});
+    p.schedule.macros.push_back({1, 1, 40});
+    p.schedule.macros.push_back({2, 41, 12});
+    p.schedule.makespan = 53;
+    p.schedule.qubitFinish = {0, 41, 0, 11, 53, 0};
+    p.duration = 53;
+    p.logReliability = -0.73;
+    p.predictedSuccess = 0.4819;
+    p.swapCount = 1;
+    p.compileSeconds = 0.0042;
+    p.solverOptimal = false;
+    p.solverStatus = "timeout after 60000 ms";
+    p.stageTraces.push_back({"placement", "GreedyE*", 0.003, "ok"});
+    p.stageTraces.push_back({"scheduling", "list", 0.001, ""});
+    return p;
+}
+
+void
+expectIdentical(const CompiledProgram &a, const CompiledProgram &b)
+{
+    EXPECT_EQ(a.mapperName, b.mapperName);
+    EXPECT_EQ(a.programName, b.programName);
+    EXPECT_EQ(a.layout, b.layout);
+    EXPECT_EQ(a.junctions, b.junctions);
+    EXPECT_TRUE(a.schedule.identicalTo(b.schedule));
+    EXPECT_EQ(a.duration, b.duration);
+    EXPECT_EQ(a.logReliability, b.logReliability);
+    EXPECT_EQ(a.predictedSuccess, b.predictedSuccess);
+    EXPECT_EQ(a.swapCount, b.swapCount);
+    EXPECT_EQ(a.compileSeconds, b.compileSeconds);
+    EXPECT_EQ(a.solverOptimal, b.solverOptimal);
+    EXPECT_EQ(a.solverStatus, b.solverStatus);
+    ASSERT_EQ(a.stageTraces.size(), b.stageTraces.size());
+    for (std::size_t i = 0; i < a.stageTraces.size(); ++i) {
+        EXPECT_EQ(a.stageTraces[i].stage, b.stageTraces[i].stage);
+        EXPECT_EQ(a.stageTraces[i].pass, b.stageTraces[i].pass);
+        EXPECT_EQ(a.stageTraces[i].seconds, b.stageTraces[i].seconds);
+        EXPECT_EQ(a.stageTraces[i].note, b.stageTraces[i].note);
+    }
+}
+
+TEST(ProgramSerdes, RoundTripsEveryField)
+{
+    CompiledProgram original = sampleProgram();
+    std::string blob = daemon::serializeCompiledProgram(original);
+
+    CompiledProgram restored;
+    ASSERT_TRUE(daemon::deserializeCompiledProgram(blob, restored));
+    expectIdentical(original, restored);
+}
+
+TEST(ProgramSerdes, RoundTripsRealPipelineOutput)
+{
+    GridTopology topo(2, 4);
+    auto machine = std::make_shared<const Machine>(
+        topo, test::uniformCalibration(topo));
+    CompilerOptions opts;
+    opts.mapper = MapperKind::GreedyE;
+    PipelineResult result =
+        standardPipeline(machine, opts)
+            .run(benchmarkByName("Toffoli").circuit);
+    ASSERT_TRUE(result.hasProgram);
+
+    std::string blob =
+        daemon::serializeCompiledProgram(result.program);
+    CompiledProgram restored;
+    ASSERT_TRUE(daemon::deserializeCompiledProgram(blob, restored));
+    expectIdentical(result.program, restored);
+}
+
+TEST(ProgramSerdes, DeterministicBytes)
+{
+    CompiledProgram p = sampleProgram();
+    EXPECT_EQ(daemon::serializeCompiledProgram(p),
+              daemon::serializeCompiledProgram(p));
+}
+
+TEST(ProgramSerdes, RejectsTruncationAtEveryLength)
+{
+    std::string blob =
+        daemon::serializeCompiledProgram(sampleProgram());
+    CompiledProgram out;
+    for (std::size_t len = 0; len < blob.size(); ++len)
+        EXPECT_FALSE(daemon::deserializeCompiledProgram(
+            blob.substr(0, len), out))
+            << "accepted a blob truncated to " << len << " bytes";
+}
+
+TEST(ProgramSerdes, RejectsSingleByteCorruption)
+{
+    std::string blob =
+        daemon::serializeCompiledProgram(sampleProgram());
+    CompiledProgram out;
+    // Flip one bit in every byte: header corruption must fail the
+    // magic/version/size checks, payload corruption the checksum.
+    for (std::size_t i = 0; i < blob.size(); ++i) {
+        std::string bad = blob;
+        bad[i] = static_cast<char>(bad[i] ^ 0x40);
+        EXPECT_FALSE(daemon::deserializeCompiledProgram(bad, out))
+            << "accepted a blob with byte " << i << " corrupted";
+    }
+}
+
+TEST(ProgramSerdes, RejectsTrailingGarbage)
+{
+    std::string blob =
+        daemon::serializeCompiledProgram(sampleProgram());
+    blob += "extra";
+    CompiledProgram out;
+    EXPECT_FALSE(daemon::deserializeCompiledProgram(blob, out));
+}
+
+TEST(ProgramSerdes, RejectsFutureVersion)
+{
+    std::string blob =
+        daemon::serializeCompiledProgram(sampleProgram());
+    // The u32 version sits right after the 4-byte magic
+    // (little-endian); bump it as a simulated newer writer.
+    blob[4] = static_cast<char>(daemon::kProgramSerdesVersion + 1);
+    CompiledProgram out;
+    EXPECT_FALSE(daemon::deserializeCompiledProgram(blob, out));
+}
+
+TEST(ProgramSerdes, RejectsEmptyAndForeignBlobs)
+{
+    CompiledProgram out;
+    EXPECT_FALSE(daemon::deserializeCompiledProgram("", out));
+    EXPECT_FALSE(daemon::deserializeCompiledProgram("not a blob", out));
+    EXPECT_FALSE(daemon::deserializeCompiledProgram(
+        std::string(1024, '\0'), out));
+}
+
+} // namespace

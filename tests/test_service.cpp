@@ -300,6 +300,79 @@ TEST(CompileCache, ZeroCapacityDisables)
     EXPECT_EQ(cache.lookup(keyOf(1)), nullptr);
 }
 
+TEST(CompileCache, ApproxBytesGrowWithContent)
+{
+    CompiledProgram small;
+    CompiledProgram big;
+    big.programName = std::string(256, 'x');
+    big.layout.assign(64, 0);
+    big.schedule.ops.resize(512);
+    big.stageTraces.push_back({"placement", "GreedyE*", 0.1, "note"});
+    EXPECT_GT(approxProgramBytes(big), approxProgramBytes(small));
+    EXPECT_GE(approxProgramBytes(small), sizeof(CompiledProgram));
+}
+
+TEST(CompileCache, TracksEntryAndByteCounters)
+{
+    CompileCache cache(4);
+    auto a = dummyProgram("a");
+    auto b = dummyProgram(std::string(512, 'b'));
+    cache.insert(keyOf(1), a);
+    cache.insert(keyOf(2), b);
+
+    CompileCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.entries, 2u);
+    EXPECT_EQ(stats.bytes,
+              approxProgramBytes(*a) + approxProgramBytes(*b));
+    EXPECT_EQ(cache.sizeBytes(), stats.bytes);
+
+    // A refresh replaces the accounted size, not adds to it.
+    cache.insert(keyOf(2), dummyProgram("b2"));
+    EXPECT_EQ(cache.stats().entries, 2u);
+    EXPECT_LT(cache.stats().bytes, stats.bytes);
+}
+
+TEST(CompileCache, ByteCapacityEvictsLruTail)
+{
+    auto sized = [](char c) {
+        auto p = std::make_shared<CompiledProgram>();
+        p->programName = std::string(1024, c);
+        return p;
+    };
+    const std::size_t one = approxProgramBytes(*sized('a'));
+
+    // Room for two sized entries but not three.
+    CompileCache cache(100, 2 * one + one / 2);
+    cache.insert(keyOf(1), sized('a'));
+    cache.insert(keyOf(2), sized('b'));
+    EXPECT_EQ(cache.size(), 2u);
+
+    cache.insert(keyOf(3), sized('c'));
+    EXPECT_EQ(cache.size(), 2u); // LRU key 1 evicted on bytes
+    EXPECT_EQ(cache.lookup(keyOf(1)), nullptr);
+    EXPECT_NE(cache.lookup(keyOf(2)), nullptr);
+    EXPECT_NE(cache.lookup(keyOf(3)), nullptr);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_LE(cache.sizeBytes(), cache.byteCapacity());
+}
+
+TEST(CompileCache, ByteCapacityAlwaysKeepsNewestEntry)
+{
+    auto huge = std::make_shared<CompiledProgram>();
+    huge->programName = std::string(1 << 16, 'h');
+
+    // Cap far below a single entry: the newest insert must still be
+    // resident (caching the current job beats caching nothing).
+    CompileCache cache(100, 64);
+    cache.insert(keyOf(1), huge);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_NE(cache.lookup(keyOf(1)), nullptr);
+
+    cache.insert(keyOf(2), dummyProgram("next"));
+    EXPECT_EQ(cache.lookup(keyOf(1)), nullptr); // huge evicted now
+    EXPECT_NE(cache.lookup(keyOf(2)), nullptr);
+}
+
 // ---------------------------------------------------------------- //
 // Compile service, end to end
 // ---------------------------------------------------------------- //

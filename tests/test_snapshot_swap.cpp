@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Concurrency hammer for snapshot replacement: many reader threads
+ * acquire machine snapshots while a writer swaps calibration entries
+ * under them. Run under ThreadSanitizer in CI — the assertions here
+ * check logical invariants (never a null or mismatched snapshot);
+ * TSan checks the memory model.
+ */
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "daemon/daemon.hpp"
+#include "machine/calibration_model.hpp"
+#include "service/machine_pool.hpp"
+#include "tests/test_util.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace {
+
+using namespace qc;
+
+constexpr int kReaders = 8;
+
+GridTopology
+topo()
+{
+    return GridTopology(2, 4);
+}
+
+TEST(SnapshotSwap, MachinePoolAcquireUnderConcurrentReplacement)
+{
+    service::MachinePool pool(4);
+    CalibrationModel model(topo(), test::kSeed);
+    constexpr int kDays = 6;
+
+    std::vector<Calibration> days;
+    for (int d = 0; d < kDays; ++d)
+        days.push_back(model.forDay(d));
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> failures{0};
+
+    std::vector<std::thread> readers;
+    for (int r = 0; r < kReaders; ++r) {
+        readers.emplace_back([&, r] {
+            // Each reader cycles through the calibration days from a
+            // different phase so acquires constantly collide with
+            // builds, hits, and evictions (capacity 4 < 6 days).
+            for (int i = 0; !stop.load(std::memory_order_relaxed);
+                 ++i) {
+                const Calibration &cal = days[(r + i) % kDays];
+                std::shared_ptr<const Machine> m =
+                    pool.acquire(topo(), cal);
+                if (!m ||
+                    m->topo().numQubits() != topo().numQubits())
+                    failures.fetch_add(1);
+                // The snapshot must outlive eviction: touch it after
+                // other threads have had a chance to evict its entry.
+                if (m->cal().cnotError != cal.cnotError)
+                    failures.fetch_add(1);
+            }
+        });
+    }
+
+    // Writer: churn the pool while readers hammer it.
+    for (int round = 0; round < 50; ++round) {
+        pool.acquire(topo(), days[round % kDays]);
+        if (round % 10 == 9)
+            pool.clear();
+        std::this_thread::yield();
+    }
+    stop.store(true);
+    for (std::thread &t : readers)
+        t.join();
+
+    EXPECT_EQ(failures.load(), 0);
+    service::MachinePoolStats stats = pool.stats();
+    EXPECT_GT(stats.hits, 0u);
+    EXPECT_GT(stats.builds, 0u);
+}
+
+TEST(SnapshotSwap, DaemonEpochFlipUnderConcurrentSubmits)
+{
+    daemon::DaemonOptions opts;
+    opts.threads = 4;
+    opts.shards = 2;
+    opts.warmTopK = 4;
+    daemon::CompileDaemon d(topo(), CalibrationModel(
+        topo(), test::kSeed).forDay(0), opts);
+
+    CalibrationModel model(topo(), test::kSeed);
+    CompilerOptions copts;
+    copts.mapper = MapperKind::GreedyE;
+
+    const Circuit circuit = benchmarkByName("BV4").circuit;
+    std::atomic<bool> stop{false};
+    std::atomic<int> failures{0};
+
+    std::vector<std::thread> submitters;
+    for (int r = 0; r < kReaders; ++r) {
+        submitters.emplace_back([&, r] {
+            const std::string tenant =
+                "hammer-" + std::to_string(r);
+            while (!stop.load(std::memory_order_relaxed)) {
+                daemon::CompileDaemon::SubmitOutcome out = d.submit(
+                    tenant, daemon::Lane::Normal, circuit, copts,
+                    "swap-hammer");
+                if (!out.accepted)
+                    continue; // quota push-back is fine here
+                daemon::JobSnapshot snap;
+                if (!d.wait(out.id, snap) || !snap.result.ok ||
+                    !snap.result.program)
+                    failures.fetch_add(1);
+            }
+        });
+    }
+
+    // Roll the calibration over repeatedly while submits stream in.
+    for (int day = 1; day <= 8; ++day) {
+        d.reload(model.forDay(day % 3), day,
+                 "hammer-day-" + std::to_string(day));
+        std::this_thread::yield();
+    }
+    stop.store(true);
+    for (std::thread &t : submitters)
+        t.join();
+    d.awaitIdle();
+
+    EXPECT_EQ(failures.load(), 0);
+    daemon::DaemonStats stats = d.stats();
+    EXPECT_EQ(stats.epochId, 9);
+    EXPECT_EQ(stats.completed, stats.submitted);
+}
+
+} // namespace

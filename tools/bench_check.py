@@ -43,6 +43,13 @@ runners whose absolute speed varies run to run:
   ``--no-exact`` downgrades these to warnings too (the synthetic
   calibration is toolchain-specific, like the invariant counts).
 
+* **``*_count`` counters** are exact-match integers: event counts a
+  correct run must reproduce precisely (jobs completed, cache disk
+  hits after a daemon restart, corrupt entries rejected). Unlike the
+  named invariant counts above they are matched by suffix, so smoke
+  harnesses (tools/daemon_smoke.sh) can add new counters without
+  touching this script. ``--no-exact`` downgrades them to warnings.
+
 Usage:
     bench_check.py CURRENT.json BASELINE.json [--threshold 0.25]
                    [--min-ref-seconds 0.004] [--success-threshold 0.0]
@@ -57,6 +64,7 @@ INVARIANT_KEYS = ("makespan", "swaps", "identical", "compiles",
                   "wins", "regressed")
 GATED_RATIO_KEY = "speedup"
 SUCCESS_FLOOR_SUFFIX = "psuccess"
+COUNTER_SUFFIX = "_count"
 
 
 def load(path):
@@ -89,6 +97,16 @@ def check_metrics(label, current, baseline, args, failures):
                 msg = (f"{label}: {key} changed {base_val} -> "
                        f"{cur_val} (deterministic output drift)")
                 if args.no_exact and key != "identical":
+                    print(f"  WARN {msg}")
+                else:
+                    failures.append(msg)
+        elif key.endswith(COUNTER_SUFFIX):
+            # Counter: an exact integer event count (completions,
+            # cache hits, rejects); any drift is a behavior change.
+            if int(cur_val) != int(base_val):
+                msg = (f"{label}: counter {key} changed "
+                       f"{base_val} -> {cur_val}")
+                if args.no_exact:
                     print(f"  WARN {msg}")
                 else:
                     failures.append(msg)

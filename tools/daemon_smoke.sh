@@ -1,0 +1,174 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for the naqcd compile daemon.
+#
+# Drives a real daemon over its Unix socket through the full
+# production story and emits a bench-JSON envelope gated by
+# bench_check.py's exact-match counters:
+#
+#   1. submit every Table-2 benchmark through naqc-client and diff
+#      the compiled QASM against one-shot naqc (bit-identity,
+#      modulo the leading // name comment),
+#   2. reload a second calibration day (zero-downtime rollover) and
+#      re-verify against one-shot naqc on that day,
+#   3. restart the daemon on the same cache directory and assert the
+#      whole working set is served from the persistent disk cache,
+#   4. clean shutdown.
+#
+# Usage: daemon_smoke.sh BUILD_DIR OUT_JSON
+
+set -u
+
+BUILD_DIR=${1:?usage: daemon_smoke.sh BUILD_DIR OUT_JSON}
+OUT_JSON=${2:?usage: daemon_smoke.sh BUILD_DIR OUT_JSON}
+
+NAQC="$BUILD_DIR/naqc"
+NAQCD="$BUILD_DIR/naqcd"
+CLIENT="$BUILD_DIR/naqc-client"
+
+WORK=$(mktemp -d)
+SOCK="$WORK/naqcd.sock"
+CACHE="$WORK/cache"
+DAEMON_PID=""
+
+BENCHES=(BV4 BV6 BV8 HS2 HS4 HS6 Toffoli Fredkin Or Peres QFT Adder)
+
+FAILURES=0
+IDENTICAL_D0=0
+IDENTICAL_D1=0
+RESTART_DISK_HITS=0
+
+fail() {
+    echo "FAIL: $*" >&2
+    FAILURES=$((FAILURES + 1))
+}
+
+stop_daemon() {
+    if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill "$DAEMON_PID" 2>/dev/null
+        wait "$DAEMON_PID" 2>/dev/null
+    fi
+    DAEMON_PID=""
+}
+
+cleanup() {
+    stop_daemon
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+start_daemon() {
+    "$NAQCD" --socket "$SOCK" --cache-dir "$CACHE" \
+        2>> "$WORK/daemon.log" &
+    DAEMON_PID=$!
+    # The daemon builds its first machine snapshot before listening;
+    # wait for the socket rather than sleeping a fixed time.
+    for _ in $(seq 1 300); do
+        [ -S "$SOCK" ] && "$CLIENT" --socket "$SOCK" ping \
+            > /dev/null 2>&1 && return 0
+        sleep 0.1
+    done
+    fail "daemon did not come up (see $WORK/daemon.log)"
+    return 1
+}
+
+# stat_counter NAME: extract NAME=value from the `ok ...` stats
+# reply (naqc-client prints the reply line on stderr).
+stat_counter() {
+    "$CLIENT" --socket "$SOCK" stats 2>&1 | grep '^ok ' \
+        | sed -n "s/.* $1=\([0-9]*\).*/\1/p" | head -1
+}
+
+# verify_bench NAME DAY RESULT_VAR: daemon output vs one-shot naqc.
+verify_bench() {
+    local name=$1 day=$2
+    "$NAQC" --dump-benchmark "$name" > "$WORK/$name.qasm" \
+        || { fail "$name: --dump-benchmark"; return 1; }
+    "$NAQC" --qasm "$WORK/$name.qasm" --day "$day" \
+        > "$WORK/$name.oneshot.qasm" 2>/dev/null \
+        || { fail "$name: one-shot naqc (day $day)"; return 1; }
+    "$CLIENT" --socket "$SOCK" submit --bench "$name" --wait \
+        > "$WORK/$name.daemon.qasm" 2> "$WORK/$name.result" \
+        || { fail "$name: daemon submit ($(cat "$WORK/$name.result"))"
+             return 1; }
+    # The leading comment carries the circuit name ("BV4" vs the
+    # one-shot CLI's "cli-program"); the program below it must match
+    # byte for byte.
+    if ! diff <(grep -v '^//' "$WORK/$name.daemon.qasm") \
+              <(grep -v '^//' "$WORK/$name.oneshot.qasm") \
+              > /dev/null; then
+        fail "$name: daemon output differs from one-shot naqc (day $day)"
+        return 1
+    fi
+    return 0
+}
+
+echo "== phase 1: cold daemon, day 0, bit-identity =="
+start_daemon || exit 1
+for b in "${BENCHES[@]}"; do
+    verify_bench "$b" 0 && IDENTICAL_D0=$((IDENTICAL_D0 + 1))
+done
+
+echo "== phase 2: zero-downtime rollover to day 1 =="
+"$CLIENT" --socket "$SOCK" reload --day 1 > /dev/null 2>&1 \
+    || fail "reload --day 1"
+for b in "${BENCHES[@]}"; do
+    verify_bench "$b" 1 && IDENTICAL_D1=$((IDENTICAL_D1 + 1))
+done
+REJECTED=$(stat_counter rejected)
+[ "${REJECTED:-0}" = "0" ] || fail "rollover rejected jobs: $REJECTED"
+STORES=$(stat_counter disk_stores)
+
+echo "== phase 3: restart, warm disk cache =="
+"$CLIENT" --socket "$SOCK" shutdown > /dev/null 2>&1 \
+    || fail "clean shutdown request"
+wait "$DAEMON_PID" 2>/dev/null
+DAEMON_RC=$?
+DAEMON_PID=""
+[ "$DAEMON_RC" = "0" ] || fail "daemon exit code $DAEMON_RC"
+[ -S "$SOCK" ] && fail "socket not unlinked on shutdown"
+
+start_daemon || exit 1
+for b in "${BENCHES[@]}"; do
+    "$CLIENT" --socket "$SOCK" submit --bench "$b" --wait \
+        > /dev/null 2> "$WORK/$b.restart" || fail "$b: restart submit"
+    grep -q "cache=disk" "$WORK/$b.restart" \
+        && RESTART_DISK_HITS=$((RESTART_DISK_HITS + 1))
+done
+# Acceptance bar: >= 90% of the working set from the persistent
+# cache. With a healthy cache directory it is exactly 100%.
+[ "$RESTART_DISK_HITS" -ge 11 ] \
+    || fail "only $RESTART_DISK_HITS/12 restart jobs hit the disk cache"
+CORRUPT=$(stat_counter disk_corrupt)
+[ "${CORRUPT:-0}" = "0" ] || fail "corrupt cache entries: $CORRUPT"
+
+"$CLIENT" --socket "$SOCK" shutdown > /dev/null 2>&1 \
+    || fail "final shutdown request"
+wait "$DAEMON_PID" 2>/dev/null || fail "final daemon exit"
+DAEMON_PID=""
+
+cat > "$OUT_JSON" <<EOF
+{
+  "schema_version": 1,
+  "bench": "daemon_smoke",
+  "entries": [
+    {
+      "name": "daemon_smoke",
+      "metrics": {
+        "identical_day0_count": $IDENTICAL_D0,
+        "identical_day1_count": $IDENTICAL_D1,
+        "restart_disk_hit_count": $RESTART_DISK_HITS,
+        "disk_store_count": ${STORES:-0},
+        "failure_count": $FAILURES
+      }
+    }
+  ]
+}
+EOF
+echo "wrote $OUT_JSON"
+
+if [ "$FAILURES" -ne 0 ]; then
+    echo "daemon smoke: $FAILURES failure(s)" >&2
+    sed -n '1,50p' "$WORK/daemon.log" >&2
+    exit 1
+fi
+echo "daemon smoke: all checks passed"

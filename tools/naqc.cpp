@@ -22,8 +22,11 @@
  *        --mapper 'GreedyE*'
  */
 
+#include <chrono>
+#include <csignal>
 #include <cstdlib>
 #include <fstream>
+#include <future>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -35,10 +38,22 @@
 #include "support/cli.hpp"
 #include "support/logging.hpp"
 #include "support/table.hpp"
+#include "workloads/benchmarks.hpp"
 
 namespace {
 
 using namespace qc;
+
+/** Exit code of a SIGINT-interrupted batch (128 + SIGINT). */
+constexpr int kInterruptedExit = 130;
+
+volatile std::sig_atomic_t g_interrupted = 0;
+
+extern "C" void
+onSigint(int)
+{
+    g_interrupted = 1;
+}
 
 struct CliOptions
 {
@@ -109,6 +124,10 @@ printUsage(std::ostream &os)
           "success rate\n"
           "  --list-topologies    print the topology spec grammar and "
           "exit\n"
+          "  --list-benchmarks    print the Table 2 benchmark names "
+          "and exit\n"
+          "  --dump-benchmark N   write a Table 2 benchmark as "
+          "OpenQASM and exit\n"
           "  --report             print mapping/reliability report to "
           "stderr\n"
           "  --trace              print the per-stage timing table "
@@ -146,6 +165,14 @@ parseArgs(int argc, char **argv)
             opts.gridFlagsUsed = true;
         } else if (arg == "--list-topologies") {
             std::cout << topologySpecHelp() << "\n";
+            std::exit(0);
+        } else if (arg == "--list-benchmarks") {
+            for (const Benchmark &b : paperBenchmarks())
+                std::cout << b.name << "\n";
+            std::exit(0);
+        } else if (arg == "--dump-benchmark") {
+            std::cout << emitQasm(
+                benchmarkByName(need(i, "--dump-benchmark")).circuit);
             std::exit(0);
         } else if (arg == "--calibration") {
             opts.calibrationPath = need(i, "--calibration");
@@ -227,6 +254,39 @@ readInput(const std::string &path)
     return oss.str();
 }
 
+/** The per-job batch table (shared by full and interrupted runs). */
+void
+printBatchTable(std::ostream &os,
+                const std::vector<service::CompileResult> &results)
+{
+    Table t({"job", "day", "status", "swaps", "duration",
+             "pred. success", "seconds"});
+    for (const auto &r : results) {
+        std::string status = r.cacheHit ? "cached"
+                             : r.ok && !r.status.ok()
+                                 ? "degraded"
+                                 : compileStatusCodeName(r.status.code);
+        std::string stage_prefix =
+            r.failedStage.empty() ? "" : "[" + r.failedStage + "] ";
+        std::string detail =
+            !r.ok ? stage_prefix + r.error()
+            : r.status.ok()
+                ? Table::fmt(r.program->predictedSuccess)
+                : Table::fmt(r.program->predictedSuccess) + " (" +
+                      stage_prefix + r.error() + ")";
+        t.addRow({r.tag, Table::fmt(static_cast<long long>(r.day)),
+                  status,
+                  r.ok ? Table::fmt(static_cast<long long>(
+                             r.program->swapCount))
+                       : "-",
+                  r.ok ? Table::fmt(static_cast<long long>(
+                             r.program->duration))
+                       : "-",
+                  detail, Table::fmt(r.seconds)});
+    }
+    t.print(os);
+}
+
 /** Batch mode: every program x every day on the compile service. */
 int
 runBatch(const CliOptions &opts)
@@ -267,48 +327,70 @@ runBatch(const CliOptions &opts)
     service::ServiceOptions sopts;
     sopts.threads = opts.jobs > 0 ? opts.jobs : 1;
     service::CompileService svc(sopts);
-    service::BatchResult batch =
-        svc.compileBatch(service::CompileService::dailyBatch(
-            model, programs, opts.day, opts.days, copts));
+    std::vector<service::CompileRequest> requests =
+        service::CompileService::dailyBatch(model, programs, opts.day,
+                                            opts.days, copts);
+    const std::size_t total = requests.size();
 
-    Table t({"job", "day", "status", "swaps", "duration",
-             "pred. success", "seconds"});
-    for (const auto &r : batch.results) {
-        std::string status = r.cacheHit ? "cached"
-                             : r.ok && !r.status.ok()
-                                 ? "degraded"
-                                 : compileStatusCodeName(r.status.code);
-        std::string stage_prefix =
-            r.failedStage.empty() ? "" : "[" + r.failedStage + "] ";
-        std::string detail =
-            !r.ok ? stage_prefix + r.error()
-            : r.status.ok()
-                ? Table::fmt(r.program->predictedSuccess)
-                : Table::fmt(r.program->predictedSuccess) + " (" +
-                      stage_prefix + r.error() + ")";
-        t.addRow({r.tag, Table::fmt(static_cast<long long>(r.day)),
-                  status,
-                  r.ok ? Table::fmt(static_cast<long long>(
-                             r.program->swapCount))
-                       : "-",
-                  r.ok ? Table::fmt(static_cast<long long>(
-                             r.program->duration))
-                       : "-",
-                  detail, Table::fmt(r.seconds)});
+    // SIGINT must not abandon a half-printed run: the handler sets a
+    // flag, the collection loop below notices it, cancels the jobs
+    // that have not started, and prints whatever finished.
+    g_interrupted = 0;
+    std::signal(SIGINT, onSigint);
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::future<service::CompileResult>> futures;
+    futures.reserve(requests.size());
+    for (service::CompileRequest &request : requests)
+        futures.push_back(svc.submit(std::move(request)));
+
+    std::vector<service::CompileResult> results;
+    results.reserve(futures.size());
+    bool interrupted = false;
+    std::size_t cancelled = 0;
+    for (std::future<service::CompileResult> &f : futures) {
+        while (!interrupted &&
+               f.wait_for(std::chrono::milliseconds(50)) !=
+                   std::future_status::ready) {
+            if (g_interrupted) {
+                interrupted = true;
+                cancelled = svc.cancelPending();
+            }
+        }
+        // After cancelPending() the skipped jobs' futures are broken
+        // promises; in-flight jobs still land normally.
+        try {
+            results.push_back(f.get());
+        } catch (const std::future_error &) {
+        }
     }
-    t.print(std::cout);
-    std::cout << "\n" << batch.report.toString();
+    std::signal(SIGINT, SIG_DFL);
 
-    if (opts.trace && !batch.report.stages.empty()) {
+    const double wall =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    service::ServiceReport report = svc.makeReport(results, wall);
+
+    printBatchTable(std::cout, results);
+    std::cout << "\n" << report.toString();
+    if (interrupted)
+        std::cout << "interrupted: " << results.size() << "/" << total
+                  << " jobs finished, " << cancelled
+                  << " cancelled before starting\n";
+
+    if (opts.trace && !report.stages.empty()) {
         Table st({"stage", "seconds", "runs", "failures"});
-        for (const auto &s : batch.report.stages)
+        for (const auto &s : report.stages)
             st.addRow({s.stage, Table::fmt(s.seconds),
                        Table::fmt(static_cast<long long>(s.runs)),
                        Table::fmt(static_cast<long long>(s.failures))});
         std::cout << "\n";
         st.print(std::cout);
     }
-    return batch.report.failed == 0 ? 0 : 1;
+    if (interrupted)
+        return kInterruptedExit;
+    return report.failed == 0 ? 0 : 1;
 }
 
 /** Per-stage timing table of one compile (--trace, single mode). */
