@@ -88,6 +88,25 @@ mapperKindFromName(const std::string &name)
              "Sabre)");
 }
 
+const char *
+portfolioTieBreakName(PortfolioTieBreak tb)
+{
+    switch (tb) {
+      case PortfolioTieBreak::BundleOrder: return "bundle-order";
+      case PortfolioTieBreak::ShortestDuration: return "shortest-duration";
+    }
+    QC_PANIC("unknown portfolio tie-break");
+}
+
+std::vector<MapperKind>
+resolvedPortfolioBundles(const PortfolioOptions &options)
+{
+    if (!options.bundles.empty())
+        return options.bundles;
+    return std::vector<MapperKind>(std::begin(kAllMapperKinds),
+                                   std::end(kAllMapperKinds));
+}
+
 Pipeline
 standardPipeline(std::shared_ptr<const Machine> machine,
                  const CompilerOptions &options)

@@ -17,6 +17,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/pipeline.hpp"
 #include "ir/circuit.hpp"
@@ -59,6 +60,46 @@ const char *mapperKindName(MapperKind k);
  */
 MapperKind mapperKindFromName(const std::string &name);
 
+/** Tie-break among portfolio candidates with equal predicted success. */
+enum class PortfolioTieBreak {
+    BundleOrder,      ///< lower bundle index wins (default)
+    ShortestDuration, ///< shorter makespan wins, then bundle order
+};
+
+const char *portfolioTieBreakName(PortfolioTieBreak tb);
+
+/**
+ * Portfolio-racing configuration (core/portfolio.hpp). Lives inside
+ * CompilerOptions so it rides through CompileRequest, the daemon
+ * protocol and — crucially — the service's option fingerprint: every
+ * knob here changes which program comes back, so every knob is part
+ * of the compile-cache key.
+ */
+struct PortfolioOptions
+{
+    /** Race `bundles` instead of compiling options.mapper alone. */
+    bool enabled = false;
+
+    /** Candidate bundles in priority order; empty = all 8 kinds. */
+    std::vector<MapperKind> bundles;
+
+    /**
+     * Cap on each SMT candidate's solver budget (ms): its effective
+     * smtTimeoutMs becomes min(smtTimeoutMs, deadlineMs), so a hard
+     * SMT instance degrades to its timeout fallback (ineligible to
+     * win) instead of holding the whole race hostage. 0 = no cap.
+     */
+    unsigned deadlineMs = 10'000;
+
+    PortfolioTieBreak tieBreak = PortfolioTieBreak::BundleOrder;
+
+    /**
+     * Cap on pool workers a portfolio job may borrow for its
+     * candidates (besides the slot it occupies). <= 0 = no cap.
+     */
+    int maxWorkers = 0;
+};
+
 /** Top-level compiler configuration. */
 struct CompilerOptions
 {
@@ -82,7 +123,17 @@ struct CompilerOptions
     int sabreIterations = 3; ///< refinement round trips
     int sabreLookahead = 20; ///< decayed lookahead window (CNOTs)
     /** @} */
+
+    /** Portfolio racing (core/portfolio.hpp); disabled by default. */
+    PortfolioOptions portfolio;
 };
+
+/**
+ * The bundle list a PortfolioOptions actually races: its explicit
+ * list, or all of kAllMapperKinds when the list is empty.
+ */
+std::vector<MapperKind> resolvedPortfolioBundles(
+    const PortfolioOptions &options);
 
 /**
  * The Table 1 bundle for `options.mapper` as a pass pipeline:

@@ -82,8 +82,9 @@ class SmtPlacementPass : public PlacementPass
     CompileStatus run(CompileContext &ctx) const override
     {
         const Circuit &prog = ctx.circuit();
-        SmtSolution sol = solveSmtMapping(
-            ctx.mach(), prog, smtModelOptionsFor(options_, prog));
+        SmtModelOptions model_opts = smtModelOptionsFor(options_, prog);
+        model_opts.cancel = ctx.cancel;
+        SmtSolution sol = solveSmtMapping(ctx.mach(), prog, model_opts);
         ctx.solverOptimal = sol.optimal;
         ctx.solverStatus = sol.status;
         ctx.addNote("z3: " + sol.status);
@@ -93,6 +94,16 @@ class SmtPlacementPass : public PlacementPass
             ctx.junctions = sol.junctions;
             return CompileStatus::success();
         }
+
+        // Cancelled solves are not failures to paper over: no
+        // fallback program, no degraded flag — the caller raced this
+        // candidate and asked it to stop.
+        if (sol.failure == SmtFailure::Cancelled)
+            return CompileStatus::cancelled(
+                "SMT solve cancelled for " + prog.name() +
+                (ctx.cancel != nullptr && !ctx.cancel->reason().empty()
+                     ? ": " + ctx.cancel->reason()
+                     : std::string()));
 
         // No model at all (hard timeout / unsat): fall back to the
         // trivial placement so callers still get a runnable program,
@@ -113,6 +124,9 @@ class SmtPlacementPass : public PlacementPass
           case SmtFailure::Timeout:
           case SmtFailure::None:
             return CompileStatus::solverTimeout(std::move(msg));
+          case SmtFailure::Cancelled:
+            // Handled above, before the fallback was installed.
+            return CompileStatus::cancelled(std::move(msg));
         }
         QC_PANIC("unknown SMT failure kind");
     }
@@ -200,7 +214,7 @@ class ListSchedulingPass : public SchedulingPass
         // ListScheduler::run validates the layout itself; an invalid
         // placement surfaces as an infeasible status via the runner.
         ListScheduler scheduler(ctx.mach(), ctx.schedOptions);
-        ctx.schedule = scheduler.run(prog, ctx.layout);
+        ctx.schedule = scheduler.run(prog, ctx.layout, ctx.cancel);
         ctx.duration = ctx.schedule.makespan;
         ctx.swapCount = ctx.schedule.swapCount();
 
@@ -228,7 +242,7 @@ class TrackingSchedulingPass : public SchedulingPass
     {
         TrackingRouter router(ctx.mach(), options_);
         TrackingResult routed =
-            router.run(ctx.circuit(), ctx.layout);
+            router.run(ctx.circuit(), ctx.layout, ctx.cancel);
         ctx.schedule = std::move(routed.schedule);
         ctx.duration = ctx.schedule.makespan;
         ctx.swapCount = routed.swapCount;

@@ -5,7 +5,9 @@
 #include <cstdio>
 #include <thread>
 
+#include "core/portfolio.hpp"
 #include "service/fingerprints.hpp"
+#include "service/portfolio_executor.hpp"
 #include "support/fingerprint.hpp"
 #include "support/logging.hpp"
 
@@ -241,9 +243,29 @@ CompileDaemon::runJob(const std::shared_ptr<JobRecord> &record)
             result.machine = epoch->machine;
             source = CacheSource::Disk;
         } else {
-            Pipeline pipeline =
-                standardPipeline(epoch->machine, record->options);
-            PipelineResult compiled = pipeline.run(record->circuit);
+            PipelineResult compiled;
+            if (record->options.portfolio.enabled) {
+                // Race on this job's worker slot; candidates borrow
+                // only idle pool workers (help-while-wait), so raced
+                // submissions can't wedge or oversubscribe the pool.
+                PortfolioPass pass(epoch->machine, record->options);
+                service::PoolPortfolioExecutor exec(
+                    pool_, record->options.portfolio.maxWorkers);
+                PortfolioResult raced =
+                    pass.run(record->circuit, &exec);
+                if (raced.winnerIndex >= 0)
+                    result.winner =
+                        raced
+                            .candidates[static_cast<std::size_t>(
+                                raced.winnerIndex)]
+                            .name;
+                result.portfolio = std::move(raced.candidates);
+                compiled = std::move(raced.best);
+            } else {
+                Pipeline pipeline =
+                    standardPipeline(epoch->machine, record->options);
+                compiled = pipeline.run(record->circuit);
+            }
             result.status = compiled.status;
             result.failedStage = compiled.failedStage;
             result.machine = epoch->machine;

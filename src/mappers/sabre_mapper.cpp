@@ -338,8 +338,10 @@ SabreRoutePass::run(const std::vector<CnotPair> &cnots,
 
 SabrePlacementResult
 sabrePlacementDetailed(const Machine &machine, const Circuit &prog,
-                       const SabreOptions &options)
+                       const SabreOptions &options,
+                       const CancelToken *cancel)
 {
+    throwIfCancelled(cancel, "sabre refinement cancelled");
     const int n_prog = prog.numQubits();
     const int n_hw = machine.numQubits();
     if (n_prog > n_hw)
@@ -363,7 +365,7 @@ sabrePlacementDetailed(const Machine &machine, const Circuit &prog,
     // standard Sabre bundle schedules with.
     TrackingRouter evaluator(machine);
     auto evaluate = [&](const std::vector<HwQubit> &layout) {
-        return evaluator.run(prog, layout).predictedSuccess;
+        return evaluator.run(prog, layout, cancel).predictedSuccess;
     };
     result.predictedSuccess = evaluate(result.layout);
 
@@ -378,6 +380,9 @@ sabrePlacementDetailed(const Machine &machine, const Circuit &prog,
 
     std::vector<HwQubit> current = result.layout;
     for (int it = 0; it < options.iterations; ++it) {
+        // Round-trip boundaries are the natural cancellation points:
+        // each trip is a full routed pass over the circuit.
+        throwIfCancelled(cancel, "sabre refinement cancelled");
         std::vector<HwQubit> after_forward =
             router.run(forward, std::move(current));
         current = router.run(backward, std::move(after_forward));
@@ -411,7 +416,7 @@ SabrePlacementPass::run(CompileContext &ctx) const
             " qubits but machine has " + std::to_string(n_hw));
 
     SabrePlacementResult result =
-        sabrePlacementDetailed(ctx.mach(), prog, options_);
+        sabrePlacementDetailed(ctx.mach(), prog, options_, ctx.cancel);
     ctx.layout = std::move(result.layout);
 
     std::ostringstream oss;

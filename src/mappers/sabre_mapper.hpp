@@ -80,12 +80,16 @@ struct SabrePlacementResult
 
 /**
  * Run the full refinement search. Throws FatalError when the program
- * does not fit the machine (the shared placement contract).
+ * does not fit the machine (the shared placement contract), and
+ * CancelledError at a round-trip boundary when `cancel` fires (a
+ * partially-refined layout is never returned).
  */
 SabrePlacementResult sabrePlacementDetailed(const Machine &machine,
                                             const Circuit &prog,
                                             const SabreOptions &options
-                                            = {});
+                                            = {},
+                                            const CancelToken *cancel
+                                            = nullptr);
 
 /** The refined initial layout alone (same contract as above). */
 std::vector<HwQubit> sabrePlacement(const Machine &machine,

@@ -73,7 +73,8 @@ struct Reservation
 
 Schedule
 ListScheduler::run(const Circuit &prog,
-                   const std::vector<HwQubit> &layout) const
+                   const std::vector<HwQubit> &layout,
+                   const CancelToken *cancel) const
 {
     const auto &topo = machine_.topo();
     const auto &cal = machine_.cal();
@@ -219,6 +220,7 @@ ListScheduler::run(const Circuit &prog,
 
         size_t scheduled = 0;
         while (scheduled < n_gates) {
+            throwIfCancelled(cancel, "scheduling cancelled");
             QC_ASSERT(!ready.empty(),
                       "scheduler deadlock: no ready gates");
 
@@ -308,6 +310,7 @@ ListScheduler::run(const Circuit &prog,
 
         size_t scheduled = 0;
         while (scheduled < n_gates) {
+            throwIfCancelled(cancel, "scheduling cancelled");
             QC_ASSERT(!heap.empty(),
                       "scheduler deadlock: no ready gates");
             auto [key, gi] = heap.top();

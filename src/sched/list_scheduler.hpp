@@ -24,6 +24,7 @@
 #include "machine/machine.hpp"
 #include "route/routing.hpp"
 #include "sched/schedule.hpp"
+#include "support/cancel.hpp"
 
 namespace qc {
 
@@ -74,9 +75,12 @@ class ListScheduler
      * @param prog   program-level circuit
      * @param layout layout[p] = hardware qubit of program qubit p;
      *               entries must be distinct and in range
+     * @param cancel optional cooperative cancellation: polled at each
+     *               commit step, unwinding with CancelledError
      */
     Schedule run(const Circuit &prog,
-                 const std::vector<HwQubit> &layout) const;
+                 const std::vector<HwQubit> &layout,
+                 const CancelToken *cancel = nullptr) const;
 
     /** The route this scheduler would pick for a CNOT gate. */
     RoutePath chooseRoute(HwQubit c, HwQubit t, int gate_idx) const;

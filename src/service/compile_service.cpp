@@ -1,10 +1,13 @@
 #include "compile_service.hpp"
 
+#include <array>
 #include <chrono>
+#include <iterator>
 #include <sstream>
 #include <utility>
 
 #include "service/fingerprints.hpp"
+#include "service/portfolio_executor.hpp"
 #include "support/logging.hpp"
 
 namespace qc::service {
@@ -71,9 +74,28 @@ CompileService::runJob(const CompileRequest &request)
         }
 
         result.machine = machines_.acquire(request.topo, request.cal);
-        Pipeline pipeline =
-            standardPipeline(result.machine, request.options);
-        PipelineResult compiled = pipeline.run(request.circuit);
+        PipelineResult compiled;
+        if (request.options.portfolio.enabled) {
+            // Race the enabled bundles on this job's queue slot. The
+            // pool executor borrows only idle workers (help-while-wait,
+            // bounded by portfolio.maxWorkers), so a portfolio job can
+            // never oversubscribe or wedge the pool.
+            PortfolioPass pass(result.machine, request.options);
+            PoolPortfolioExecutor exec(
+                pool_, request.options.portfolio.maxWorkers);
+            PortfolioResult raced = pass.run(request.circuit, &exec);
+            if (raced.winnerIndex >= 0)
+                result.winner = raced
+                                    .candidates[static_cast<std::size_t>(
+                                        raced.winnerIndex)]
+                                    .name;
+            result.portfolio = std::move(raced.candidates);
+            compiled = std::move(raced.best);
+        } else {
+            Pipeline pipeline =
+                standardPipeline(result.machine, request.options);
+            compiled = pipeline.run(request.circuit);
+        }
 
         result.status = compiled.status;
         result.failedStage = compiled.failedStage;
@@ -176,6 +198,11 @@ CompileService::makeReport(const std::vector<CompileResult> &results,
         return report.stages.back();
     };
 
+    // Win counts indexed by MapperKind so the final list comes out in
+    // kAllMapperKinds order regardless of which jobs won what first.
+    constexpr std::size_t n_kinds = std::size(kAllMapperKinds);
+    std::array<int, n_kinds> wins{};
+
     for (const CompileResult &r : results) {
         if (r.ok)
             ++report.succeeded;
@@ -187,10 +214,29 @@ CompileService::makeReport(const std::vector<CompileResult> &results,
             ++report.cacheHits;
         report.jobSeconds += r.seconds;
 
-        for (const StageTrace &t : r.stageTraces) {
-            StageSummary &s = stage_slot(t.stage + "/" + t.pass);
-            ++s.runs;
-            s.seconds += t.seconds;
+        if (!r.portfolio.empty()) {
+            // The winner's traces live in r.stageTraces *and* in its
+            // candidate entry; aggregate candidates only, so every
+            // raced stage counts exactly once.
+            ++report.portfolioJobs;
+            for (const PortfolioCandidate &c : r.portfolio) {
+                if (c.cancelled)
+                    ++report.portfolioCancelled;
+                if (c.winner)
+                    ++wins[static_cast<std::size_t>(c.kind)];
+                for (const StageTrace &t : c.stageTraces) {
+                    StageSummary &s =
+                        stage_slot(t.stage + "/" + t.pass);
+                    ++s.runs;
+                    s.seconds += t.seconds;
+                }
+            }
+        } else {
+            for (const StageTrace &t : r.stageTraces) {
+                StageSummary &s = stage_slot(t.stage + "/" + t.pass);
+                ++s.runs;
+                s.seconds += t.seconds;
+            }
         }
         if (!r.ok && !r.failedStage.empty()) {
             // The failing stage is the last trace recorded for the
@@ -203,6 +249,11 @@ CompileService::makeReport(const std::vector<CompileResult> &results,
             ++stage_slot(label).failures;
         }
     }
+    for (std::size_t i = 0; i < n_kinds; ++i)
+        if (wins[i] > 0)
+            report.portfolioWins.emplace_back(
+                mapperKindName(kAllMapperKinds[i]), wins[i]);
+
     report.wallSeconds = wall_seconds;
     report.machinePool = machines_.stats();
     report.cache = cache_.stats();
@@ -217,8 +268,18 @@ ServiceReport::toString() const
         << " failed, " << cacheHits << " cache hits";
     if (degraded > 0)
         oss << ", " << degraded << " degraded";
-    oss << ")\n"
-        << "wall time: " << wallSeconds << " s (" << throughput()
+    oss << ")\n";
+    if (portfolioJobs > 0) {
+        oss << "portfolio: " << portfolioJobs << " raced, "
+            << portfolioCancelled << " candidates cancelled early";
+        if (!portfolioWins.empty()) {
+            oss << "; wins:";
+            for (const auto &[name, count] : portfolioWins)
+                oss << " " << name << "=" << count;
+        }
+        oss << "\n";
+    }
+    oss << "wall time: " << wallSeconds << " s (" << throughput()
         << " jobs/s; " << jobSeconds << " s of job time)\n"
         << "machine pool: " << machinePool.builds << " builds, "
         << machinePool.hits << " hits, " << machinePool.evictions

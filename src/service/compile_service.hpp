@@ -30,9 +30,11 @@
 #include <future>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/compiler.hpp"
+#include "core/portfolio.hpp"
 #include "ir/circuit.hpp"
 #include "machine/calibration_model.hpp"
 #include "service/compile_cache.hpp"
@@ -94,6 +96,18 @@ struct CompileResult
      */
     std::vector<StageTrace> stageTraces;
 
+    /**
+     * Per-candidate outcomes when the job raced a portfolio
+     * (options.portfolio.enabled), in bundle order; empty otherwise
+     * and for cache hits. The winner's stage traces appear here *and*
+     * in stageTraces — report aggregation reads only this vector for
+     * portfolio jobs to avoid double counting.
+     */
+    std::vector<PortfolioCandidate> portfolio;
+
+    /** Winning bundle's name for portfolio jobs; empty otherwise. */
+    std::string winner;
+
     /** The compiled artifact (shared with the cache); null on error. */
     std::shared_ptr<const CompiledProgram> program;
 
@@ -131,6 +145,16 @@ struct ServiceReport
      * first-seen stage order (cache hits contribute nothing).
      */
     std::vector<StageSummary> stages;
+
+    /** Jobs that actually raced a portfolio (cache hits race nothing). */
+    int portfolioJobs = 0;
+    /** Candidates cancelled early across all portfolio races. */
+    int portfolioCancelled = 0;
+    /**
+     * Wins per bundle ("<name>" -> count), in kAllMapperKinds order so
+     * the report is deterministic. Only bundles that won appear.
+     */
+    std::vector<std::pair<std::string, int>> portfolioWins;
 
     double wallSeconds = 0.0;    ///< batch wall-clock time
     double jobSeconds = 0.0;     ///< sum of per-job times

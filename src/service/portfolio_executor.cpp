@@ -1,0 +1,69 @@
+#include "portfolio_executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+namespace qc::service {
+
+void
+PoolPortfolioExecutor::runAll(std::vector<std::function<void()>> tasks)
+{
+    if (tasks.empty())
+        return;
+
+    // Shared between the caller and the pump tasks; shared_ptr because
+    // a pump may fire after runAll returned (it then finds the index
+    // exhausted and exits without touching the closures).
+    struct Shared
+    {
+        std::vector<std::function<void()>> tasks;
+        std::atomic<std::size_t> next{0};
+        std::mutex mu;
+        std::condition_variable allDone;
+        std::size_t done = 0; // guarded by mu
+    };
+    auto shared = std::make_shared<Shared>();
+    shared->tasks = std::move(tasks);
+    const std::size_t n = shared->tasks.size();
+
+    auto drain = [shared, n] {
+        for (;;) {
+            const std::size_t i =
+                shared->next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            shared->tasks[i]();
+            std::lock_guard<std::mutex> lock(shared->mu);
+            if (++shared->done == n)
+                shared->allDone.notify_all();
+        }
+    };
+
+    // Borrow idle workers. The caller counts against the budget; the
+    // pump futures are intentionally dropped — drain() doesn't throw,
+    // and completion is tracked by the done counter, not the futures
+    // (waiting on a queued pump from inside a saturated pool would be
+    // exactly the deadlock this executor exists to avoid).
+    const int budget = maxWorkers_ > 0
+                           ? std::min(maxWorkers_, pool_.numThreads())
+                           : pool_.numThreads();
+    const std::size_t pumps =
+        std::min<std::size_t>(budget > 1 ? budget - 1 : 0, n - 1);
+    for (std::size_t i = 0; i < pumps; ++i) {
+        try {
+            pool_.submit(drain);
+        } catch (...) {
+            break; // pool shutting down: the caller drains alone
+        }
+    }
+
+    drain(); // help while waiting: the caller always makes progress
+
+    std::unique_lock<std::mutex> lock(shared->mu);
+    shared->allDone.wait(lock, [&shared, n] { return shared->done == n; });
+}
+
+} // namespace qc::service

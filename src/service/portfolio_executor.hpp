@@ -1,0 +1,51 @@
+/**
+ * @file
+ * ThreadPool-backed PortfolioExecutor with a help-while-wait worker
+ * budget.
+ *
+ * The deadlock this design guards against: a portfolio job runs *as*
+ * a pool task, and its candidates are more pool tasks. If every
+ * worker is occupied by a portfolio parent that blocks on futures of
+ * its queued children, nobody is left to run a child — the classic
+ * nested-submission wedge. Here a parent never blocks on work it
+ * could do itself: caller and borrowed workers pull candidate
+ * closures from one shared index ("help while wait"), so each parent
+ * is always able to drain its own list alone. Borrowed workers are
+ * plain pool tasks ("pumps") that exit immediately when the index has
+ * run out, which also means a portfolio job can never oversubscribe
+ * the machine: at most poolSize closures run at any instant, and an
+ * idle pool lends all of its workers while a busy one lends none.
+ */
+
+#ifndef QC_SERVICE_PORTFOLIO_EXECUTOR_HPP
+#define QC_SERVICE_PORTFOLIO_EXECUTOR_HPP
+
+#include "core/portfolio.hpp"
+#include "service/thread_pool.hpp"
+
+namespace qc::service {
+
+/** Runs candidate closures on the caller plus borrowed pool workers. */
+class PoolPortfolioExecutor final : public PortfolioExecutor
+{
+  public:
+    /**
+     * @param pool       the service's worker pool
+     * @param maxWorkers cap on total workers racing one job's
+     *                   candidates, caller included (<= 0: pool size)
+     */
+    explicit PoolPortfolioExecutor(ThreadPool &pool, int maxWorkers = 0)
+        : pool_(pool), maxWorkers_(maxWorkers)
+    {
+    }
+
+    void runAll(std::vector<std::function<void()>> tasks) override;
+
+  private:
+    ThreadPool &pool_;
+    int maxWorkers_;
+};
+
+} // namespace qc::service
+
+#endif // QC_SERVICE_PORTFOLIO_EXECUTOR_HPP

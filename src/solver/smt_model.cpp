@@ -71,11 +71,15 @@ remainingMs(Clock::time_point deadline)
     return left > 1 ? static_cast<unsigned>(left) : 1u;
 }
 
-} // namespace
-
+/**
+ * The full model build + optimization loop. May throw z3::exception
+ * from any context operation when the token's interrupt hook fires
+ * outside a check() — the public wrapper below maps that to a
+ * structured cancelled/error solution.
+ */
 SmtSolution
-solveSmtMapping(const Machine &machine, const Circuit &prog,
-                const SmtModelOptions &options)
+solveSmtMappingImpl(const Machine &machine, const Circuit &prog,
+                    const SmtModelOptions &options)
 {
     const auto &topo = machine.topo();
     const auto &cal = machine.cal();
@@ -104,8 +108,27 @@ solveSmtMapping(const Machine &machine, const Circuit &prog,
     const auto deadline =
         t0 + std::chrono::milliseconds(options.timeoutMs);
 
+    // A cancelled solve keeps no model: the caller (portfolio racing)
+    // declared it a loser, and a partial incumbent would only leak
+    // timing-dependent results into deterministic selection.
+    auto cancelled_solution = [&t0] {
+        SmtSolution s;
+        s.failure = SmtFailure::Cancelled;
+        s.status = "cancelled";
+        s.solveSeconds =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        return s;
+    };
+    if (isCancelled(options.cancel))
+        return cancelled_solution();
+
     z3::context ctx;
     z3::solver solver(ctx);
+    // Polling alone cannot stop a thread parked inside solver.check(),
+    // so the token also hooks z3's soft interrupt for the lifetime of
+    // this solve (the guard's destructor waits out an in-flight hook).
+    CancelCallbackGuard interrupt_guard(options.cancel,
+                                        [&ctx] { ctx.interrupt(); });
     auto set_budget = [&](unsigned cap_ms) {
         z3::params p(ctx);
         p.set("timeout", std::min(remainingMs(deadline), cap_ms));
@@ -381,6 +404,11 @@ solveSmtMapping(const Machine &machine, const Circuit &prog,
     std::int64_t best_value = 0;
     bool proven = false;
 
+    // Model building is cheap but the BnB warm start below is not:
+    // checkpoint before committing to it.
+    if (isCancelled(options.cancel))
+        return cancelled_solution();
+
     // Lower bound.
     std::int64_t lower = 0;
     bool lower_is_tight = false;
@@ -427,6 +455,11 @@ solveSmtMapping(const Machine &machine, const Circuit &prog,
 
     auto check_with_bound = [&](std::optional<std::int64_t> bound,
                                 unsigned cap_ms) -> z3::check_result {
+        if (isCancelled(options.cancel)) {
+            sol.status = "cancelled";
+            sol.failure = SmtFailure::Cancelled;
+            return z3::unknown;
+        }
         solver.push();
         if (bound)
             solver.add(objective <= ctx.int_val(*bound));
@@ -435,8 +468,23 @@ solveSmtMapping(const Machine &machine, const Circuit &prog,
         try {
             r = solver.check();
         } catch (const z3::exception &e) {
-            sol.status = std::string("z3 exception: ") + e.msg();
-            sol.failure = SmtFailure::Error;
+            // An interrupted check may surface as a z3 exception; the
+            // token, not the exception text, is authoritative.
+            if (isCancelled(options.cancel)) {
+                sol.status = "cancelled";
+                sol.failure = SmtFailure::Cancelled;
+            } else {
+                sol.status = std::string("z3 exception: ") + e.msg();
+                sol.failure = SmtFailure::Error;
+            }
+            solver.pop();
+            return z3::unknown;
+        }
+        if (isCancelled(options.cancel)) {
+            // Interrupted mid-check: whatever z3 answered is partial
+            // timing-dependent state — drop it.
+            sol.status = "cancelled";
+            sol.failure = SmtFailure::Cancelled;
             solver.pop();
             return z3::unknown;
         }
@@ -550,6 +598,11 @@ solveSmtMapping(const Machine &machine, const Circuit &prog,
             proven = false;
     }
 
+    // Cancellation overrides any incumbent found along the way.
+    if (sol.failure == SmtFailure::Cancelled ||
+        isCancelled(options.cancel))
+        return cancelled_solution();
+
     sol.optimal = proven;
     if (sol.status.empty())
         sol.status = proven ? "optimal" : "feasible";
@@ -568,6 +621,35 @@ solveSmtMapping(const Machine &machine, const Circuit &prog,
     sol.solveSeconds =
         std::chrono::duration<double>(Clock::now() - t0).count();
     return sol;
+}
+
+} // namespace
+
+SmtSolution
+solveSmtMapping(const Machine &machine, const Circuit &prog,
+                const SmtModelOptions &options)
+{
+    const auto t0 = Clock::now();
+    try {
+        return solveSmtMappingImpl(machine, prog, options);
+    } catch (const z3::exception &e) {
+        // The interrupt hook can fire while the model is still being
+        // BUILT (solver.add on an interrupted context throws), not
+        // just inside check(). The token, not the exception text, is
+        // authoritative; a genuine Z3 failure stays a structured
+        // error instead of escaping the solve.
+        SmtSolution sol;
+        sol.solveSeconds =
+            std::chrono::duration<double>(Clock::now() - t0).count();
+        if (isCancelled(options.cancel)) {
+            sol.failure = SmtFailure::Cancelled;
+            sol.status = "cancelled";
+        } else {
+            sol.failure = SmtFailure::Error;
+            sol.status = std::string("z3 exception: ") + e.msg();
+        }
+        return sol;
+    }
 }
 
 } // namespace qc

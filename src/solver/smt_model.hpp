@@ -17,6 +17,7 @@
 #include "ir/circuit.hpp"
 #include "machine/machine.hpp"
 #include "route/routing.hpp"
+#include "support/cancel.hpp"
 
 namespace qc {
 
@@ -56,14 +57,23 @@ struct SmtModelOptions
      * large synthetic programs (Fig. 11's scalability sweep).
      */
     bool jointScheduling = true;
+
+    /**
+     * Cooperative cancellation (null = not cancellable). The solve
+     * polls it between solver queries and hooks z3's interrupt so an
+     * in-flight check() returns promptly; a cancelled solve comes
+     * back infeasible with SmtFailure::Cancelled and keeps no model.
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 /** Why a solve produced no model (meaningful when !feasible). */
 enum class SmtFailure {
-    None,    ///< a model was found (or no failure recorded yet)
-    Unsat,   ///< constraints proven unsatisfiable
-    Timeout, ///< budget exhausted without any model
-    Error,   ///< Z3 raised an exception
+    None,      ///< a model was found (or no failure recorded yet)
+    Unsat,     ///< constraints proven unsatisfiable
+    Timeout,   ///< budget exhausted without any model
+    Error,     ///< Z3 raised an exception
+    Cancelled, ///< the solve's CancelToken was triggered
 };
 
 /** Outcome of an SMT solve. */

@@ -1,0 +1,91 @@
+#include "cancel.hpp"
+
+namespace qc {
+
+CancelToken::CancelToken() : state_(std::make_shared<State>()) {}
+
+void
+CancelToken::requestCancel(const std::string &reason) const
+{
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->flag.load(std::memory_order_relaxed))
+        return; // already cancelled; first reason wins
+    state_->reason = reason;
+    state_->flag.store(true, std::memory_order_release);
+    // Callbacks run under the lock on purpose: removeCallback (the
+    // CancelCallbackGuard destructor) then blocks until an in-flight
+    // callback finishes, so whatever the callback pokes (e.g. a z3
+    // context) provably outlives the call. The documented price:
+    // callbacks must never touch their own token.
+    for (auto &entry : state_->callbacks)
+        if (entry.second)
+            entry.second();
+    state_->callbacks.clear();
+}
+
+std::string
+CancelToken::reason() const
+{
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->reason;
+}
+
+std::uint64_t
+CancelToken::onCancel(std::function<void()> fn) const
+{
+    {
+        std::lock_guard<std::mutex> lock(state_->mu);
+        if (!state_->flag.load(std::memory_order_relaxed)) {
+            const std::uint64_t id = state_->nextId++;
+            state_->callbacks.emplace(id, std::move(fn));
+            return id;
+        }
+    }
+    // Already cancelled: fire now, on this thread. Id 0 is never
+    // allocated, so removeCallback(0) is a harmless no-op.
+    if (fn)
+        fn();
+    return 0;
+}
+
+void
+CancelToken::removeCallback(std::uint64_t id) const
+{
+    std::lock_guard<std::mutex> lock(state_->mu);
+    state_->callbacks.erase(id);
+}
+
+void
+CancelToken::throwIfCancelled(const char *context) const
+{
+    if (!cancelled())
+        return;
+    std::string msg = context;
+    const std::string why = reason();
+    if (!why.empty())
+        msg += ": " + why;
+    throw CancelledError(msg);
+}
+
+void
+throwIfCancelled(const CancelToken *token, const char *context)
+{
+    if (token != nullptr)
+        token->throwIfCancelled(context);
+}
+
+CancelCallbackGuard::CancelCallbackGuard(const CancelToken *token,
+                                         std::function<void()> fn)
+    : token_(token)
+{
+    if (token_ != nullptr)
+        id_ = token_->onCancel(std::move(fn));
+}
+
+CancelCallbackGuard::~CancelCallbackGuard()
+{
+    if (token_ != nullptr && id_ != 0)
+        token_->removeCallback(id_);
+}
+
+} // namespace qc

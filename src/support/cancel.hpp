@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Cooperative cancellation for long-running compilations.
+ *
+ * A CancelToken is a copyable handle to shared cancellation state.
+ * The requesting side calls requestCancel(reason) once; the working
+ * side polls cancelled() at its natural step boundaries (SMT solver
+ * ticks, SABRE iteration boundaries, scheduler commit steps) and
+ * unwinds with CancelledError, which Pipeline::run maps to the
+ * structured CompileStatusCode::Cancelled — never a hang, never an
+ * uncaught throw across the public API.
+ *
+ * Pure polling cannot stop a thread that is parked inside a foreign
+ * library call, so tokens also carry cancel callbacks: registering
+ * one (see CancelCallbackGuard) lets e.g. the SMT placement hook
+ * z3::context::interrupt() so an in-flight solver check returns
+ * promptly. Callbacks run on the *requesting* thread, at most once,
+ * and fire immediately when registering on an already-cancelled
+ * token.
+ *
+ * Lives in support/ so every layer — solver, mappers, sched, core,
+ * service — can poll one token without upward includes.
+ */
+
+#ifndef QC_SUPPORT_CANCEL_HPP
+#define QC_SUPPORT_CANCEL_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace qc {
+
+/**
+ * Thrown by cooperative workers when their token is cancelled.
+ * Deliberately NOT a FatalError: Pipeline::run catches it separately
+ * and classifies the run as CompileStatusCode::Cancelled.
+ */
+class CancelledError : public std::runtime_error
+{
+  public:
+    explicit CancelledError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/**
+ * Copyable handle to shared cancellation state. Copies observe the
+ * same flag; the default constructor allocates fresh (uncancelled)
+ * state. All members are safe to call concurrently.
+ */
+class CancelToken
+{
+  public:
+    CancelToken();
+
+    /**
+     * Flip the flag and run every registered callback. Idempotent:
+     * only the first call's reason sticks and callbacks run at most
+     * once. Callbacks execute on the calling thread.
+     */
+    void requestCancel(const std::string &reason) const;
+
+    /** Has cancellation been requested? Cheap enough for hot loops. */
+    bool cancelled() const
+    {
+        return state_->flag.load(std::memory_order_acquire);
+    }
+
+    /** First requestCancel's reason; empty while not cancelled. */
+    std::string reason() const;
+
+    /**
+     * Register a callback to run when cancellation is requested.
+     * Fires immediately (on this thread) if the token is already
+     * cancelled. Returns an id for removeCallback; prefer the RAII
+     * CancelCallbackGuard. The callback must be safe to invoke from
+     * another thread and must not touch the token it hangs off.
+     */
+    std::uint64_t onCancel(std::function<void()> fn) const;
+
+    /** Deregister; safe if the callback already ran or never existed. */
+    void removeCallback(std::uint64_t id) const;
+
+    /** Throw CancelledError(context + reason) if cancelled. */
+    void throwIfCancelled(const char *context) const;
+
+  private:
+    struct State
+    {
+        std::atomic<bool> flag{false};
+        mutable std::mutex mu;
+        std::string reason;                                // mu
+        std::map<std::uint64_t, std::function<void()>> callbacks; // mu
+        std::uint64_t nextId = 1;                          // mu
+    };
+    std::shared_ptr<State> state_;
+};
+
+/**
+ * Poll helper for the pervasive `const CancelToken *` parameter
+ * convention: a null token can never be cancelled.
+ */
+inline bool
+isCancelled(const CancelToken *token)
+{
+    return token != nullptr && token->cancelled();
+}
+
+/** Throw CancelledError if a (possibly null) token is cancelled. */
+void throwIfCancelled(const CancelToken *token, const char *context);
+
+/**
+ * RAII registration of a cancel callback: registers on construction
+ * (no-op for a null token), deregisters on destruction. Used to
+ * scope e.g. a z3 interrupt hook to exactly one solver call.
+ */
+class CancelCallbackGuard
+{
+  public:
+    CancelCallbackGuard(const CancelToken *token,
+                        std::function<void()> fn);
+    ~CancelCallbackGuard();
+
+    CancelCallbackGuard(const CancelCallbackGuard &) = delete;
+    CancelCallbackGuard &operator=(const CancelCallbackGuard &) = delete;
+
+  private:
+    const CancelToken *token_ = nullptr;
+    std::uint64_t id_ = 0;
+};
+
+} // namespace qc
+
+#endif // QC_SUPPORT_CANCEL_HPP

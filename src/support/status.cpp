@@ -12,6 +12,7 @@ compileStatusCodeName(CompileStatusCode code)
       case CompileStatusCode::Infeasible: return "infeasible";
       case CompileStatusCode::SolverTimeout: return "solver-timeout";
       case CompileStatusCode::InternalError: return "internal-error";
+      case CompileStatusCode::Cancelled: return "cancelled";
     }
     QC_PANIC("unknown compile status code");
 }

@@ -29,6 +29,7 @@ enum class CompileStatusCode {
     Infeasible,    ///< the input cannot be compiled (e.g. too many qubits)
     SolverTimeout, ///< the solver exhausted its budget without a model
     InternalError, ///< unexpected failure (library or solver bug)
+    Cancelled,     ///< a CancelToken stopped the run (portfolio loser)
 };
 
 const char *compileStatusCodeName(CompileStatusCode code);
@@ -53,6 +54,10 @@ struct CompileStatus
     static CompileStatus internalError(std::string msg)
     {
         return {CompileStatusCode::InternalError, std::move(msg)};
+    }
+    static CompileStatus cancelled(std::string msg)
+    {
+        return {CompileStatusCode::Cancelled, std::move(msg)};
     }
 };
 

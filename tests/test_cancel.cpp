@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Cooperative-cancellation tests: CancelToken semantics, the
+ * CancelledError unwind path through every cancellable inner loop
+ * (scheduler, tracking router, SABRE, SMT solver), and the pipeline's
+ * structured CompileStatusCode::Cancelled contract — above all that a
+ * cancelled mid-flight SMT solve returns a cancelled status instead
+ * of hanging or throwing across the public API.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/compiler.hpp"
+#include "core/pipeline.hpp"
+#include "mappers/sabre_mapper.hpp"
+#include "sched/list_scheduler.hpp"
+#include "sched/tracking_router.hpp"
+#include "solver/smt_model.hpp"
+#include "support/cancel.hpp"
+#include "tests/test_util.hpp"
+#include "workloads/random_circuits.hpp"
+
+namespace {
+
+using namespace qc;
+
+// ---------------------------------------------------------------- //
+// CancelToken semantics
+// ---------------------------------------------------------------- //
+
+TEST(CancelToken, StartsClearAndFlipsOnce)
+{
+    CancelToken token;
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_EQ(token.reason(), "");
+
+    token.requestCancel("first");
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.reason(), "first");
+
+    // Idempotent: the first reason wins.
+    token.requestCancel("second");
+    EXPECT_EQ(token.reason(), "first");
+}
+
+TEST(CancelToken, CopiesShareState)
+{
+    CancelToken a;
+    CancelToken b = a;
+    b.requestCancel("via copy");
+    EXPECT_TRUE(a.cancelled());
+    EXPECT_EQ(a.reason(), "via copy");
+
+    // A fresh default token is independent state.
+    CancelToken c;
+    EXPECT_FALSE(c.cancelled());
+}
+
+TEST(CancelToken, CallbacksFireExactlyOnce)
+{
+    CancelToken token;
+    std::atomic<int> fired{0};
+    token.onCancel([&fired] { ++fired; });
+    EXPECT_EQ(fired.load(), 0);
+
+    token.requestCancel("go");
+    EXPECT_EQ(fired.load(), 1);
+    token.requestCancel("again");
+    EXPECT_EQ(fired.load(), 1);
+
+    // Registering on an already-cancelled token fires immediately.
+    token.onCancel([&fired] { ++fired; });
+    EXPECT_EQ(fired.load(), 2);
+}
+
+TEST(CancelToken, RemovedCallbacksNeverFire)
+{
+    CancelToken token;
+    std::atomic<int> fired{0};
+    const std::uint64_t id = token.onCancel([&fired] { ++fired; });
+    token.removeCallback(id);
+    token.requestCancel("late");
+    EXPECT_EQ(fired.load(), 0);
+}
+
+TEST(CancelToken, CallbackGuardScopesRegistration)
+{
+    CancelToken token;
+    std::atomic<int> fired{0};
+    {
+        CancelCallbackGuard guard(&token, [&fired] { ++fired; });
+    }
+    token.requestCancel("after guard");
+    EXPECT_EQ(fired.load(), 0);
+
+    // A guard on a null token is a no-op, not a crash.
+    CancelCallbackGuard null_guard(nullptr, [&fired] { ++fired; });
+    EXPECT_EQ(fired.load(), 0);
+}
+
+TEST(CancelToken, ThrowHelpersCarryContextAndReason)
+{
+    CancelToken token;
+    EXPECT_NO_THROW(token.throwIfCancelled("clean"));
+    EXPECT_NO_THROW(throwIfCancelled(nullptr, "null token"));
+    EXPECT_FALSE(isCancelled(nullptr));
+
+    token.requestCancel("user hit ^C");
+    EXPECT_TRUE(isCancelled(&token));
+    try {
+        token.throwIfCancelled("sched step");
+        FAIL() << "expected CancelledError";
+    } catch (const CancelledError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("sched step"), std::string::npos);
+        EXPECT_NE(what.find("user hit ^C"), std::string::npos);
+    }
+}
+
+TEST(CancelToken, ConcurrentRequestsAreSafe)
+{
+    CancelToken token;
+    std::atomic<int> fired{0};
+    token.onCancel([&fired] { ++fired; });
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t)
+        threads.emplace_back([&token, t] {
+            token.requestCancel("racer " + std::to_string(t));
+        });
+    for (std::thread &t : threads)
+        t.join();
+
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(fired.load(), 1);
+    EXPECT_NE(token.reason().find("racer"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- //
+// Cancellable inner loops unwind with CancelledError
+// ---------------------------------------------------------------- //
+
+Circuit
+smallProgram()
+{
+    Circuit c("cancel-probe", 4);
+    c.h(0);
+    c.cnot(0, 1);
+    c.cnot(1, 2);
+    c.cnot(2, 3);
+    for (int q = 0; q < 4; ++q)
+        c.measure(q, q);
+    return c;
+}
+
+TEST(CancelUnwind, ListSchedulerChecksCommitSteps)
+{
+    Machine machine = test::day0();
+    ListScheduler scheduler(machine, SchedulerOptions{});
+    std::vector<HwQubit> layout = {0, 1, 2, 3};
+
+    CancelToken token;
+    token.requestCancel("stop scheduling");
+    EXPECT_THROW(scheduler.run(smallProgram(), layout, &token),
+                 CancelledError);
+    // Null token: unchanged behavior.
+    EXPECT_NO_THROW(scheduler.run(smallProgram(), layout, nullptr));
+}
+
+TEST(CancelUnwind, TrackingRouterChecksPerGate)
+{
+    Machine machine = test::day0();
+    TrackingRouter router(machine);
+    std::vector<HwQubit> layout = {0, 1, 2, 3};
+
+    CancelToken token;
+    token.requestCancel("stop routing");
+    EXPECT_THROW(router.run(smallProgram(), layout, &token),
+                 CancelledError);
+}
+
+TEST(CancelUnwind, SabreChecksRoundTripBoundaries)
+{
+    Machine machine = test::day0();
+    CancelToken token;
+    token.requestCancel("stop refining");
+    EXPECT_THROW(sabrePlacementDetailed(machine, smallProgram(),
+                                        SabreOptions{}, &token),
+                 CancelledError);
+}
+
+// ---------------------------------------------------------------- //
+// SMT solver cancellation
+// ---------------------------------------------------------------- //
+
+TEST(CancelSmt, PreCancelledSolveReturnsStructuredFailure)
+{
+    Machine machine = test::day0();
+    SmtModelOptions options;
+    CancelToken token;
+    token.requestCancel("cancelled before solve");
+    options.cancel = &token;
+
+    SmtSolution sol =
+        solveSmtMapping(machine, smallProgram(), options);
+    EXPECT_FALSE(sol.feasible);
+    EXPECT_FALSE(sol.optimal);
+    EXPECT_EQ(sol.failure, SmtFailure::Cancelled);
+    EXPECT_TRUE(sol.layout.empty());
+}
+
+TEST(CancelSmt, MidSolveCancelInterruptsAndReportsCancelled)
+{
+    // A joint-scheduling SMT instance big enough that the solve runs
+    // for many seconds under the full 60 s budget — the watchdog
+    // fires long before it can finish, and the interrupt hook must
+    // yank Z3 out of check() promptly instead of letting the test
+    // hang until the budget expires.
+    Machine machine = test::day0();
+    Circuit prog = makeDenseCnotCircuit(8, 72, test::kSeed, 500);
+
+    SmtModelOptions options;
+    options.timeoutMs = 60'000;
+    CancelToken token;
+    options.cancel = &token;
+
+    std::thread watchdog([&token] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+        token.requestCancel("watchdog");
+    });
+
+    const auto start = std::chrono::steady_clock::now();
+    SmtSolution sol = solveSmtMapping(machine, prog, options);
+    const double seconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    watchdog.join();
+
+    EXPECT_EQ(sol.failure, SmtFailure::Cancelled);
+    EXPECT_FALSE(sol.feasible);
+    EXPECT_EQ(sol.status, "cancelled");
+    // Interrupted, not timed out: nowhere near the 60 s budget.
+    EXPECT_LT(seconds, 30.0);
+}
+
+// ---------------------------------------------------------------- //
+// Pipeline maps CancelledError to CompileStatusCode::Cancelled
+// ---------------------------------------------------------------- //
+
+TEST(CancelPipeline, PreCancelledRunReturnsCancelledStatus)
+{
+    auto machine = std::make_shared<const Machine>(test::day0());
+    CompilerOptions options;
+    options.mapper = MapperKind::GreedyE;
+    Pipeline pipeline = standardPipeline(machine, options);
+
+    CancelToken token;
+    token.requestCancel("before the first stage");
+    PipelineResult result = pipeline.run(smallProgram(), &token);
+
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status.code, CompileStatusCode::Cancelled);
+    EXPECT_FALSE(result.hasProgram);
+    EXPECT_FALSE(result.failedStage.empty());
+}
+
+TEST(CancelPipeline, CancelledSmtCompileReturnsStatusNotHangOrThrow)
+{
+    // The satellite contract: cancelling an SMT compile mid-solve
+    // yields a structured Cancelled status — never a degraded
+    // fallback, never an exception across Pipeline::run.
+    auto machine = std::make_shared<const Machine>(test::day0());
+    CompilerOptions options;
+    options.mapper = MapperKind::TSmt;
+    options.smtTimeoutMs = 60'000;
+    Pipeline pipeline = standardPipeline(machine, options);
+
+    Circuit prog = makeDenseCnotCircuit(8, 72, test::kSeed + 1, 500);
+
+    CancelToken token;
+    std::thread watchdog([&token] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(150));
+        token.requestCancel("watchdog");
+    });
+
+    PipelineResult result;
+    EXPECT_NO_THROW(result = pipeline.run(prog, &token));
+    watchdog.join();
+
+    EXPECT_EQ(result.status.code, CompileStatusCode::Cancelled);
+    EXPECT_FALSE(result.hasProgram);
+    EXPECT_EQ(result.failedStage, "placement");
+}
+
+TEST(CancelPipeline, NullTokenKeepsExistingBehavior)
+{
+    auto machine = std::make_shared<const Machine>(test::day0());
+    CompilerOptions options;
+    options.mapper = MapperKind::GreedyE;
+    Pipeline pipeline = standardPipeline(machine, options);
+
+    PipelineResult result = pipeline.run(smallProgram());
+    EXPECT_TRUE(result.ok());
+    EXPECT_TRUE(result.hasProgram);
+}
+
+} // namespace

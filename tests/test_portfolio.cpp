@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Portfolio-racing tests: bundle-list parsing, the success upper
+ * bound, deterministic winner selection (serial vs 8-thread
+ * bit-identity), provable early cancellation, fingerprint
+ * non-aliasing against single-bundle cache entries, service/report
+ * integration, and the ThreadPool nested-submission deadlock guard —
+ * the executor regression test wedges forever under a naive
+ * submit-and-wait design.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/portfolio.hpp"
+#include "service/compile_service.hpp"
+#include "service/fingerprints.hpp"
+#include "service/portfolio_executor.hpp"
+#include "tests/test_util.hpp"
+#include "workloads/benchmarks.hpp"
+#include "workloads/random_circuits.hpp"
+
+namespace {
+
+using namespace qc;
+using qc::service::CompileService;
+using qc::service::PoolPortfolioExecutor;
+using qc::service::ServiceOptions;
+using qc::service::ThreadPool;
+
+/** Cheap heuristic bundles (no SMT): fast enough to race in tests. */
+const std::vector<MapperKind> kHeuristics = {
+    MapperKind::Qiskit, MapperKind::GreedyV, MapperKind::GreedyE,
+    MapperKind::GreedyETrack, MapperKind::Sabre};
+
+CompilerOptions
+portfolioOptions(std::vector<MapperKind> bundles,
+                 unsigned deadline_ms = 10'000)
+{
+    CompilerOptions options;
+    options.portfolio.enabled = true;
+    options.portfolio.bundles = std::move(bundles);
+    options.portfolio.deadlineMs = deadline_ms;
+    return options;
+}
+
+// ---------------------------------------------------------------- //
+// Bundle-list parsing
+// ---------------------------------------------------------------- //
+
+TEST(PortfolioParse, LenientNamesAndOrderPreserved)
+{
+    auto bundles = parsePortfolioBundles("greedye, sabre ,rsmt*");
+    ASSERT_EQ(bundles.size(), 3u);
+    EXPECT_EQ(bundles[0], MapperKind::GreedyE);
+    EXPECT_EQ(bundles[1], MapperKind::Sabre);
+    EXPECT_EQ(bundles[2], MapperKind::RSmtStar);
+}
+
+TEST(PortfolioParse, RejectsBadInput)
+{
+    EXPECT_THROW(parsePortfolioBundles("nope"), FatalError);
+    EXPECT_THROW(parsePortfolioBundles("sabre,sabre"), FatalError);
+    EXPECT_THROW(parsePortfolioBundles(""), FatalError);
+    EXPECT_THROW(parsePortfolioBundles("sabre,,greedye"), FatalError);
+}
+
+TEST(PortfolioParse, EmptyOptionListMeansEveryBundle)
+{
+    PortfolioOptions defaults;
+    auto all = resolvedPortfolioBundles(defaults);
+    ASSERT_EQ(all.size(), std::size(kAllMapperKinds));
+    for (size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(all[i], kAllMapperKinds[i]);
+}
+
+TEST(PortfolioLaunch, HeuristicsBeforeSmtStably)
+{
+    const std::vector<MapperKind> bundles = {
+        MapperKind::TSmt, MapperKind::GreedyE, MapperKind::RSmtStar,
+        MapperKind::Sabre};
+    auto order = PortfolioPass::launchOrder(bundles);
+    ASSERT_EQ(order.size(), 4u);
+    // GreedyE (1) and Sabre (3) first in their original order, then
+    // TSmt (0) and RSmtStar (2) in theirs.
+    EXPECT_EQ(order[0], 1u);
+    EXPECT_EQ(order[1], 3u);
+    EXPECT_EQ(order[2], 0u);
+    EXPECT_EQ(order[3], 2u);
+}
+
+// ---------------------------------------------------------------- //
+// Success upper bound
+// ---------------------------------------------------------------- //
+
+TEST(PortfolioBound, NoCandidatePredictionExceedsIt)
+{
+    auto machine = std::make_shared<const Machine>(test::day0());
+    Circuit prog = makeRandomCircuit({5, 48, test::kSeed, true});
+    const double ub = circuitSuccessUpperBound(*machine, prog);
+    EXPECT_GT(ub, 0.0);
+    EXPECT_LE(ub, 1.0);
+
+    for (MapperKind kind : kHeuristics) {
+        CompilerOptions options;
+        options.mapper = kind;
+        PipelineResult r =
+            standardPipeline(machine, options).run(prog);
+        ASSERT_TRUE(r.hasProgram) << mapperKindName(kind);
+        EXPECT_LE(r.program.predictedSuccess, ub)
+            << mapperKindName(kind);
+    }
+}
+
+TEST(PortfolioBound, ExactOnBestCaseCircuit)
+{
+    // One CNOT placed on the (uniform) best edge, two readouts at the
+    // (uniform) best reliability, zero SWAPs: a real compilation
+    // achieves the bound exactly, float for float — the foundation of
+    // the equality-form early cancellation.
+    GridTopology topo(2, 4);
+    auto machine = std::make_shared<const Machine>(
+        topo, test::uniformCalibration(topo));
+    Circuit prog("bell", 2);
+    prog.cnot(0, 1);
+    prog.measure(0, 0);
+    prog.measure(1, 1);
+
+    const double ub = circuitSuccessUpperBound(*machine, prog);
+    CompilerOptions options;
+    options.mapper = MapperKind::GreedyE;
+    PipelineResult r = standardPipeline(machine, options).run(prog);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.program.predictedSuccess, ub);
+}
+
+// ---------------------------------------------------------------- //
+// Racing: determinism and early cancellation
+// ---------------------------------------------------------------- //
+
+TEST(PortfolioRace, SerialWinnerTiesOrBeatsEverySingleBundle)
+{
+    auto machine = std::make_shared<const Machine>(test::day0());
+    Circuit prog = makeRandomCircuit({5, 64, test::kSeed + 7, true});
+
+    PortfolioPass pass(machine, portfolioOptions(kHeuristics));
+    PortfolioResult raced = pass.run(prog);
+    ASSERT_TRUE(raced.ok());
+    ASSERT_GE(raced.winnerIndex, 0);
+
+    for (MapperKind kind : kHeuristics) {
+        CompilerOptions options;
+        options.mapper = kind;
+        PipelineResult solo =
+            standardPipeline(machine, options).run(prog);
+        if (!solo.ok() || !solo.program.solverOptimal)
+            continue;
+        EXPECT_GE(raced.best.program.predictedSuccess,
+                  solo.program.predictedSuccess)
+            << "portfolio lost to " << mapperKindName(kind);
+    }
+}
+
+TEST(PortfolioRace, BitIdenticalSerialVsEightThreads)
+{
+    auto machine = std::make_shared<const Machine>(test::day0());
+    ThreadPool pool(8);
+    PoolPortfolioExecutor pooled(pool);
+
+    for (int c = 0; c < 3; ++c) {
+        Circuit prog =
+            makeRandomCircuit({4 + c, 40 + 8 * c,
+                               test::kSeed + 100 + c, true});
+        PortfolioPass pass(machine, portfolioOptions(kHeuristics));
+
+        PortfolioResult serial = pass.run(prog);          // oracle
+        PortfolioResult threaded = pass.run(prog, &pooled);
+
+        ASSERT_TRUE(serial.ok());
+        ASSERT_TRUE(threaded.ok());
+        EXPECT_EQ(serial.winnerIndex, threaded.winnerIndex);
+        EXPECT_EQ(serial.best.program.mapperName,
+                  threaded.best.program.mapperName);
+        EXPECT_EQ(serial.best.program.predictedSuccess,
+                  threaded.best.program.predictedSuccess);
+        EXPECT_EQ(serial.best.program.duration,
+                  threaded.best.program.duration);
+        EXPECT_EQ(serial.best.program.swapCount,
+                  threaded.best.program.swapCount);
+        EXPECT_EQ(serial.best.program.layout,
+                  threaded.best.program.layout);
+
+        // A candidate that ran in both modes must agree bit for bit
+        // (timing may skip candidates, never change their output).
+        ASSERT_EQ(serial.candidates.size(),
+                  threaded.candidates.size());
+        for (size_t i = 0; i < serial.candidates.size(); ++i) {
+            const PortfolioCandidate &a = serial.candidates[i];
+            const PortfolioCandidate &b = threaded.candidates[i];
+            if (a.cancelled || b.cancelled)
+                continue;
+            EXPECT_EQ(a.predictedSuccess, b.predictedSuccess)
+                << a.name;
+            EXPECT_EQ(a.duration, b.duration) << a.name;
+        }
+    }
+}
+
+TEST(PortfolioRace, ProvableWinnerCancelsUnstartedRivals)
+{
+    // On a uniform machine the single-CNOT program hits the success
+    // upper bound exactly, so the first completed candidate provably
+    // beats every rival: under the serial executor the SMT bundle
+    // must be cancelled before it ever starts.
+    GridTopology topo(2, 4);
+    auto machine = std::make_shared<const Machine>(
+        topo, test::uniformCalibration(topo));
+    Circuit prog("bell", 2);
+    prog.cnot(0, 1);
+    prog.measure(0, 0);
+    prog.measure(1, 1);
+
+    PortfolioPass pass(
+        machine, portfolioOptions(
+                     {MapperKind::GreedyE, MapperKind::RSmtStar}));
+    PortfolioResult raced = pass.run(prog);
+
+    ASSERT_TRUE(raced.ok());
+    EXPECT_EQ(raced.winnerIndex, 0);
+    EXPECT_TRUE(raced.candidates[0].winner);
+    EXPECT_EQ(raced.best.program.predictedSuccess, raced.upperBound);
+
+    EXPECT_EQ(raced.launchedCount, 1);
+    EXPECT_EQ(raced.cancelledCount, 1);
+    EXPECT_TRUE(raced.candidates[1].cancelled);
+    EXPECT_EQ(raced.candidates[1].status.code,
+              CompileStatusCode::Cancelled);
+    EXPECT_FALSE(raced.candidates[1].hasProgram);
+}
+
+TEST(PortfolioRace, CancellingTheRaceCancelsEveryCandidate)
+{
+    auto machine = std::make_shared<const Machine>(test::day0());
+    Circuit prog = makeRandomCircuit({4, 32, test::kSeed, true});
+
+    PortfolioPass pass(machine, portfolioOptions(kHeuristics));
+    CancelToken cancel;
+    cancel.requestCancel("caller gave up");
+    PortfolioResult raced = pass.run(prog, nullptr, &cancel);
+
+    EXPECT_FALSE(raced.ok());
+    EXPECT_EQ(raced.winnerIndex, -1);
+    EXPECT_EQ(raced.launchedCount, 0);
+    EXPECT_EQ(raced.cancelledCount,
+              static_cast<int>(kHeuristics.size()));
+    EXPECT_EQ(raced.best.status.code, CompileStatusCode::Cancelled);
+}
+
+// ---------------------------------------------------------------- //
+// Fingerprints: portfolio results never alias single-bundle entries
+// ---------------------------------------------------------------- //
+
+TEST(PortfolioFingerprints, KnobsSeparateCacheKeys)
+{
+    using qc::service::fingerprintOptions;
+
+    CompilerOptions single;
+    CompilerOptions racing = portfolioOptions({}, 10'000);
+    EXPECT_NE(fingerprintOptions(single), fingerprintOptions(racing));
+
+    CompilerOptions subset =
+        portfolioOptions({MapperKind::GreedyE, MapperKind::Sabre});
+    EXPECT_NE(fingerprintOptions(racing), fingerprintOptions(subset));
+
+    CompilerOptions short_deadline = portfolioOptions({}, 500);
+    EXPECT_NE(fingerprintOptions(racing),
+              fingerprintOptions(short_deadline));
+
+    CompilerOptions tie = portfolioOptions({}, 10'000);
+    tie.portfolio.tieBreak = PortfolioTieBreak::ShortestDuration;
+    EXPECT_NE(fingerprintOptions(racing), fingerprintOptions(tie));
+
+    // "Empty = all" and the explicit full list compile identically,
+    // so they must hash identically.
+    CompilerOptions explicit_all = portfolioOptions(
+        {kAllMapperKinds, kAllMapperKinds + std::size(kAllMapperKinds)});
+    EXPECT_EQ(fingerprintOptions(racing),
+              fingerprintOptions(explicit_all));
+
+    // Inert knobs of a DISABLED portfolio must not fragment the
+    // single-bundle key space.
+    CompilerOptions inert;
+    inert.portfolio.deadlineMs = 123;
+    inert.portfolio.bundles = {MapperKind::Sabre};
+    EXPECT_EQ(fingerprintOptions(single), fingerprintOptions(inert));
+
+    // maxWorkers is an execution knob, not a result knob.
+    CompilerOptions budgeted = portfolioOptions({}, 10'000);
+    budgeted.portfolio.maxWorkers = 2;
+    EXPECT_EQ(fingerprintOptions(racing),
+              fingerprintOptions(budgeted));
+}
+
+// ---------------------------------------------------------------- //
+// Pool executor: nested-submission deadlock guard
+// ---------------------------------------------------------------- //
+
+TEST(PoolExecutor, SaturatedPoolCannotWedgeOnNestedWork)
+{
+    // Two portfolio parents occupy BOTH workers of a 2-thread pool,
+    // then each fans out 3 child closures. A naive executor that
+    // queues children and blocks on their futures deadlocks here:
+    // every worker is a blocked parent and nobody is left to run a
+    // child. Help-while-wait parents drain their own lists, so this
+    // must finish.
+    ThreadPool pool(2);
+    std::atomic<int> children_ran{0};
+
+    auto parent = [&pool, &children_ran] {
+        PoolPortfolioExecutor exec(pool);
+        std::vector<std::function<void()>> tasks;
+        for (int i = 0; i < 3; ++i)
+            tasks.push_back([&children_ran] {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(10));
+                ++children_ran;
+            });
+        exec.runAll(std::move(tasks));
+    };
+
+    auto f1 = pool.submit(parent);
+    auto f2 = pool.submit(parent);
+    f1.get();
+    f2.get();
+    EXPECT_EQ(children_ran.load(), 6);
+}
+
+TEST(PoolExecutor, MaxWorkersBoundsBorrowingNotCorrectness)
+{
+    ThreadPool pool(4);
+    PoolPortfolioExecutor exec(pool, 1); // caller-only budget
+    std::atomic<int> ran{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 5; ++i)
+        tasks.push_back([&ran] { ++ran; });
+    exec.runAll(std::move(tasks));
+    EXPECT_EQ(ran.load(), 5);
+}
+
+// ---------------------------------------------------------------- //
+// Service integration
+// ---------------------------------------------------------------- //
+
+std::vector<service::CompileRequest>
+portfolioRequests(const CompilerOptions &options)
+{
+    std::vector<std::pair<std::string, Circuit>> programs;
+    for (int c = 0; c < 3; ++c)
+        programs.emplace_back(
+            "rand" + std::to_string(c),
+            makeRandomCircuit(
+                {4 + c, 36 + 6 * c, test::kSeed + 200 + c, true}));
+    return CompileService::dailyBatch(test::env().calibrationModel(),
+                                      programs, 0, 2, options);
+}
+
+TEST(PortfolioService, EightThreadBatchBitIdenticalToSerial)
+{
+    CompilerOptions options = portfolioOptions(kHeuristics);
+
+    ServiceOptions serial_opts;
+    serial_opts.threads = 1;
+    CompileService serial(serial_opts);
+    auto serial_batch =
+        serial.compileBatch(portfolioRequests(options));
+
+    ServiceOptions pooled_opts;
+    pooled_opts.threads = 8;
+    CompileService pooled(pooled_opts);
+    auto pooled_batch =
+        pooled.compileBatch(portfolioRequests(options));
+
+    ASSERT_EQ(serial_batch.results.size(),
+              pooled_batch.results.size());
+    for (size_t i = 0; i < serial_batch.results.size(); ++i) {
+        const auto &a = serial_batch.results[i];
+        const auto &b = pooled_batch.results[i];
+        ASSERT_TRUE(a.ok) << a.tag;
+        ASSERT_TRUE(b.ok) << b.tag;
+        EXPECT_EQ(a.winner, b.winner) << a.tag;
+        EXPECT_EQ(a.program->predictedSuccess,
+                  b.program->predictedSuccess)
+            << a.tag;
+        EXPECT_EQ(a.program->duration, b.program->duration) << a.tag;
+        EXPECT_EQ(a.program->layout, b.program->layout) << a.tag;
+    }
+
+    // Report surface: every job raced, winners counted in
+    // kAllMapperKinds order, candidate traces aggregated.
+    const auto &report = pooled_batch.report;
+    EXPECT_EQ(report.portfolioJobs,
+              static_cast<int>(pooled_batch.results.size()));
+    int wins = 0;
+    for (const auto &[name, count] : report.portfolioWins)
+        wins += count;
+    EXPECT_EQ(wins, report.portfolioJobs);
+    EXPECT_FALSE(report.stages.empty());
+    EXPECT_NE(report.toString().find("portfolio:"),
+              std::string::npos);
+}
+
+TEST(PortfolioService, RacedResultsAreCachedUnderPortfolioKey)
+{
+    CompilerOptions options = portfolioOptions(kHeuristics);
+    ServiceOptions sopts;
+    sopts.threads = 2;
+    CompileService svc(sopts);
+
+    auto first = svc.compileBatch(portfolioRequests(options));
+    ASSERT_EQ(first.report.cacheHits, 0);
+
+    auto second = svc.compileBatch(portfolioRequests(options));
+    EXPECT_EQ(second.report.cacheHits,
+              static_cast<int>(second.results.size()));
+
+    // The same circuits compiled WITHOUT the portfolio miss the
+    // portfolio entries (no aliasing between the key spaces).
+    CompilerOptions single;
+    single.mapper = MapperKind::GreedyE;
+    auto solo = svc.compileBatch(portfolioRequests(single));
+    EXPECT_EQ(solo.report.cacheHits, 0);
+}
+
+} // namespace

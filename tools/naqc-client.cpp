@@ -7,6 +7,7 @@
  *
  *   naqc-client --socket PATH submit (--bench NAME | --qasm FILE)
  *               [--tenant T] [--priority P] [--mapper M] [--tag TEXT]
+ *               [--portfolio[=K1,K2,...]] [--portfolio-deadline-ms MS]
  *               [--wait]
  *   naqc-client --socket PATH status ID
  *   naqc-client --socket PATH wait ID
@@ -50,6 +51,9 @@ struct ClientCli
     std::string mapper;
     std::string tag;
     std::string day;
+    bool portfolio = false;
+    std::string portfolioBundles;  ///< comma list; empty = all
+    std::string portfolioDeadline; ///< ms; daemon validates
     bool wait = false;
     bool help = false;
 };
@@ -62,6 +66,8 @@ printUsage(std::ostream &os)
           "  submit   --bench NAME | --qasm FILE ('-' = stdin)\n"
           "           [--tenant T] [--priority high|normal|low]\n"
           "           [--mapper NAME] [--tag TEXT] [--wait]\n"
+          "           [--portfolio[=K1,K2,...]] "
+          "[--portfolio-deadline-ms MS]\n"
           "  status ID    non-blocking job state\n"
           "  wait ID      block until the job finishes\n"
           "  stats        daemon counters\n"
@@ -99,6 +105,15 @@ parseArgs(int argc, char **argv)
             cli.mapper = need(i, "--mapper");
         } else if (arg == "--tag") {
             cli.tag = need(i, "--tag");
+        } else if (arg == "--portfolio") {
+            cli.portfolio = true;
+        } else if (arg.rfind("--portfolio=", 0) == 0) {
+            cli.portfolio = true;
+            cli.portfolioBundles =
+                arg.substr(std::string("--portfolio=").size());
+        } else if (arg == "--portfolio-deadline-ms") {
+            cli.portfolioDeadline =
+                need(i, "--portfolio-deadline-ms");
         } else if (arg == "--day") {
             cli.day = need(i, "--day");
         } else if (arg == "--wait") {
@@ -210,6 +225,14 @@ run(const ClientCli &cli)
             req << " mapper=" << cli.mapper;
         if (!cli.tag.empty())
             req << " tag=" << cli.tag;
+        if (cli.portfolio)
+            req << " portfolio="
+                << (cli.portfolioBundles.empty()
+                        ? "all"
+                        : cli.portfolioBundles);
+        if (!cli.portfolioDeadline.empty())
+            req << " portfolio_deadline_ms="
+                << cli.portfolioDeadline;
         if (cli.wait)
             req << " wait=1";
         if (!ch.writeLine(req.str()) ||

@@ -22,9 +22,11 @@
  *        --mapper 'GreedyE*'
  */
 
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdlib>
+#include <vector>
 #include <fstream>
 #include <future>
 #include <iostream>
@@ -32,8 +34,10 @@
 #include <string>
 
 #include "core/compiler.hpp"
+#include "core/portfolio.hpp"
 #include "machine/calibration_io.hpp"
 #include "service/compile_service.hpp"
+#include "service/portfolio_executor.hpp"
 #include "sim/executor.hpp"
 #include "support/cli.hpp"
 #include "support/logging.hpp"
@@ -75,6 +79,9 @@ struct CliOptions
     int sabreIterations = 3;
     int sabreLookahead = 20;
     int simulateTrials = 0;
+    bool portfolio = false;         ///< race mapper bundles
+    std::string portfolioBundles;   ///< comma list; empty = all
+    unsigned portfolioDeadlineMs = 10'000;
     bool report = false;
     bool trace = false;
     bool help = false;
@@ -118,6 +125,14 @@ printUsage(std::ostream &os)
           "starting at --day\n"
           "  --jobs N             batch: run on a compile service "
           "with N workers\n"
+          "  --portfolio[=K1,K2]  race mapper bundles concurrently and "
+          "keep the best\n"
+          "                       predicted success (bare flag: all "
+          "eight bundles)\n"
+          "  --portfolio-deadline-ms MS\n"
+          "                       cap each SMT bundle's solver budget "
+          "in the race\n"
+          "                       (default 10000; 0 = keep --timeout)\n"
           "  --simulate N         Monte-Carlo N trials on the noisy "
           "simulator\n"
           "  --expected BITS      correct answer for --simulate "
@@ -199,6 +214,22 @@ parseArgs(int argc, char **argv)
         } else if (arg == "--sabre-lookahead") {
             opts.sabreLookahead = cli::parseIntFlag(
                 "--sabre-lookahead", need(i, "--sabre-lookahead"));
+        } else if (arg == "--portfolio") {
+            opts.portfolio = true;
+        } else if (arg.rfind("--portfolio=", 0) == 0) {
+            opts.portfolio = true;
+            opts.portfolioBundles =
+                arg.substr(std::string("--portfolio=").size());
+            // Validate now so a typo exits 2 before any compilation.
+            try {
+                parsePortfolioBundles(opts.portfolioBundles);
+            } catch (const FatalError &e) {
+                throw cli::UsageError(e.what());
+            }
+        } else if (arg == "--portfolio-deadline-ms") {
+            opts.portfolioDeadlineMs = cli::parseUnsignedFlag(
+                "--portfolio-deadline-ms",
+                need(i, "--portfolio-deadline-ms"));
         } else if (arg == "--simulate") {
             opts.simulateTrials = cli::parseIntFlag(
                 "--simulate", need(i, "--simulate"));
@@ -238,6 +269,26 @@ topologyFromOptions(const CliOptions &opts)
     return GridTopology(opts.rows, opts.cols);
 }
 
+/** CompilerOptions shared by single and batch mode. */
+CompilerOptions
+compilerOptionsFromCli(const CliOptions &opts)
+{
+    CompilerOptions copts;
+    copts.mapper = mapperKindFromName(opts.mapper);
+    copts.readoutWeight = opts.omega;
+    copts.smtTimeoutMs = opts.timeoutMs;
+    copts.sabreIterations = opts.sabreIterations;
+    copts.sabreLookahead = opts.sabreLookahead;
+    if (opts.portfolio) {
+        copts.portfolio.enabled = true;
+        copts.portfolio.deadlineMs = opts.portfolioDeadlineMs;
+        if (!opts.portfolioBundles.empty())
+            copts.portfolio.bundles =
+                parsePortfolioBundles(opts.portfolioBundles);
+    }
+    return copts;
+}
+
 std::string
 readInput(const std::string &path)
 {
@@ -259,8 +310,20 @@ void
 printBatchTable(std::ostream &os,
                 const std::vector<service::CompileResult> &results)
 {
-    Table t({"job", "day", "status", "swaps", "duration",
-             "pred. success", "seconds"});
+    // The winner column only appears when some job raced a portfolio
+    // (cache hits of raced keys show "-": the race was not re-run).
+    const bool raced = std::any_of(
+        results.begin(), results.end(),
+        [](const service::CompileResult &r) {
+            return !r.portfolio.empty();
+        });
+    std::vector<std::string> header = {"job",      "day",
+                                       "status",   "swaps",
+                                       "duration", "pred. success",
+                                       "seconds"};
+    if (raced)
+        header.insert(header.begin() + 3, "winner");
+    Table t(header);
     for (const auto &r : results) {
         std::string status = r.cacheHit ? "cached"
                              : r.ok && !r.status.ok()
@@ -274,15 +337,19 @@ printBatchTable(std::ostream &os,
                 ? Table::fmt(r.program->predictedSuccess)
                 : Table::fmt(r.program->predictedSuccess) + " (" +
                       stage_prefix + r.error() + ")";
-        t.addRow({r.tag, Table::fmt(static_cast<long long>(r.day)),
-                  status,
-                  r.ok ? Table::fmt(static_cast<long long>(
-                             r.program->swapCount))
-                       : "-",
-                  r.ok ? Table::fmt(static_cast<long long>(
-                             r.program->duration))
-                       : "-",
-                  detail, Table::fmt(r.seconds)});
+        std::vector<std::string> row = {
+            r.tag, Table::fmt(static_cast<long long>(r.day)), status,
+            r.ok ? Table::fmt(
+                       static_cast<long long>(r.program->swapCount))
+                 : "-",
+            r.ok ? Table::fmt(
+                       static_cast<long long>(r.program->duration))
+                 : "-",
+            detail, Table::fmt(r.seconds)};
+        if (raced)
+            row.insert(row.begin() + 3,
+                       r.winner.empty() ? "-" : r.winner);
+        t.addRow(std::move(row));
     }
     t.print(os);
 }
@@ -309,12 +376,7 @@ runBatch(const CliOptions &opts)
     Topology topo = topologyFromOptions(opts);
     CalibrationModel model(topo, opts.seed);
 
-    CompilerOptions copts;
-    copts.mapper = mapperKindFromName(opts.mapper);
-    copts.readoutWeight = opts.omega;
-    copts.smtTimeoutMs = opts.timeoutMs;
-    copts.sabreIterations = opts.sabreIterations;
-    copts.sabreLookahead = opts.sabreLookahead;
+    CompilerOptions copts = compilerOptionsFromCli(opts);
 
     std::vector<std::pair<std::string, Circuit>> programs;
     for (const std::string &path : opts.qasmPaths) {
@@ -405,6 +467,34 @@ printStageTrace(std::ostream &os,
     t.print(os);
 }
 
+/** Per-candidate race outcome table (--trace/--report, single mode). */
+void
+printPortfolioTable(std::ostream &os, const PortfolioResult &raced)
+{
+    Table t({"bundle", "status", "pred. success", "swaps", "duration",
+             "seconds", "outcome"});
+    for (const PortfolioCandidate &c : raced.candidates) {
+        std::string outcome = c.winner      ? "winner"
+                              : c.cancelled ? "cancelled"
+                              : c.eligible  ? "lost"
+                                            : "ineligible";
+        t.addRow({c.name, compileStatusCodeName(c.status.code),
+                  c.hasProgram ? Table::fmt(c.predictedSuccess) : "-",
+                  c.hasProgram
+                      ? Table::fmt(static_cast<long long>(c.swapCount))
+                      : "-",
+                  c.hasProgram
+                      ? Table::fmt(static_cast<long long>(c.duration))
+                      : "-",
+                  Table::fmt(c.seconds), outcome});
+    }
+    t.print(os);
+    os << "portfolio: " << raced.launchedCount << " launched, "
+       << raced.cancelledCount << " cancelled early; success upper "
+          "bound "
+       << Table::fmt(raced.upperBound) << "\n";
+}
+
 int
 runCli(const CliOptions &opts)
 {
@@ -430,16 +520,23 @@ runCli(const CliOptions &opts)
         cal = model.forDay(opts.day);
     }
 
-    CompilerOptions copts;
-    copts.mapper = mapperKindFromName(opts.mapper);
-    copts.readoutWeight = opts.omega;
-    copts.smtTimeoutMs = opts.timeoutMs;
-    copts.sabreIterations = opts.sabreIterations;
-    copts.sabreLookahead = opts.sabreLookahead;
+    CompilerOptions copts = compilerOptionsFromCli(opts);
 
     auto machine = std::make_shared<const Machine>(topo, cal);
-    Pipeline pipeline = standardPipeline(machine, copts);
-    PipelineResult result = pipeline.run(prog);
+    PipelineResult result;
+    if (copts.portfolio.enabled) {
+        PortfolioPass pass(machine, copts);
+        service::ThreadPool pool; // hardware concurrency
+        service::PoolPortfolioExecutor exec(pool,
+                                            copts.portfolio.maxWorkers);
+        PortfolioResult raced = pass.run(prog, &exec);
+        if (opts.trace || opts.report)
+            printPortfolioTable(std::cerr, raced);
+        result = std::move(raced.best);
+    } else {
+        Pipeline pipeline = standardPipeline(machine, copts);
+        result = pipeline.run(prog);
+    }
 
     if (opts.trace)
         printStageTrace(std::cerr, result.program.stageTraces);

@@ -11,7 +11,8 @@
  * payload block terminated by a lone "."):
  *
  *   submit bench=NAME|qasm=inline [tenant=T] [priority=high|normal|low]
- *          [mapper=NAME] [tag=TEXT] [wait=1]
+ *          [mapper=NAME] [portfolio=all|K1,K2,...]
+ *          [portfolio_deadline_ms=MS] [tag=TEXT] [wait=1]
  *          -- with qasm=inline, the QASM text follows as a payload
  *             block; the response to wait=1 carries the compiled QASM
  *             back the same way.
@@ -42,6 +43,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "core/portfolio.hpp"
 #include "daemon/daemon.hpp"
 #include "daemon/net.hpp"
 #include "daemon/protocol.hpp"
@@ -199,6 +201,17 @@ describeResult(const daemon::JobSnapshot &snap)
             << " duration=" << r.program->duration
             << " psuccess=" << r.program->predictedSuccess;
     }
+    if (!r.portfolio.empty()) {
+        int cancelled = 0;
+        for (const PortfolioCandidate &c : r.portfolio)
+            if (c.cancelled)
+                ++cancelled;
+        oss << " winner=" << (r.winner.empty()
+                                  ? "-"
+                                  : tokenSafe(r.winner))
+            << " raced=" << r.portfolio.size()
+            << " cancelled=" << cancelled;
+    }
     if (!r.status.ok())
         oss << " error=" << tokenSafe(r.error());
     return oss.str();
@@ -287,6 +300,22 @@ handleSubmit(Server &srv, daemon::LineChannel &ch,
     try {
         if (req.has("mapper"))
             copts.mapper = mapperKindFromName(req.get("mapper"));
+        if (req.has("portfolio")) {
+            copts.portfolio.enabled = true;
+            const std::string spec = req.get("portfolio");
+            // "portfolio" as a bare flag parses as value "1"; both it
+            // and "all" mean every bundle.
+            if (spec != "all" && spec != "1")
+                copts.portfolio.bundles = parsePortfolioBundles(spec);
+        }
+        if (req.has("portfolio_deadline_ms")) {
+            const long long ms =
+                req.getInt("portfolio_deadline_ms", -1);
+            if (ms < 0)
+                QC_FATAL("bad portfolio_deadline_ms '",
+                         req.get("portfolio_deadline_ms"), "'");
+            copts.portfolio.deadlineMs = static_cast<unsigned>(ms);
+        }
     } catch (const std::exception &e) {
         ch.writeLine("err reason=" + tokenSafe(e.what()));
         return;
