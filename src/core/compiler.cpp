@@ -112,6 +112,8 @@ standardPipeline(std::shared_ptr<const Machine> machine,
                  const CompilerOptions &options)
 {
     PipelineBuilder builder = Pipeline::forMachine(std::move(machine));
+    if (options.verify)
+        builder.verification(PipelineVerify::On);
     switch (options.mapper) {
       case MapperKind::Qiskit:
         return builder.placement(passes::qiskitBaseline())

@@ -124,6 +124,15 @@ struct CompilerOptions
     int sabreLookahead = 20; ///< decayed lookahead window (CNOTs)
     /** @} */
 
+    /**
+     * Force the translation validator (verify/verifier.hpp) on for
+     * every compilation regardless of build type — what naqc --verify
+     * sets. Execution-only: it cannot change which program a bundle
+     * produces, so like referenceScheduler it is deliberately NOT
+     * part of the service's compile-cache fingerprint.
+     */
+    bool verify = false;
+
     /** Portfolio racing (core/portfolio.hpp); disabled by default. */
     PortfolioOptions portfolio;
 };

@@ -115,8 +115,58 @@ Pipeline::run(const Circuit &prog, const CancelToken *cancel) const
     p.solverOptimal = ctx.solverOptimal;
     p.solverStatus = ctx.solverStatus;
     p.stageTraces = std::move(traces);
+
+    if (verifies()) {
+        const auto t_verify = Clock::now();
+        const ProgramVerifier verifier(
+            *machine_, verifyOptionsFor(ctx.schedOptions));
+        const VerifyReport report = verifier.verify(prog, p);
+        if (!report.ok()) {
+            // The program stays available (hasProgram) so callers can
+            // inspect the rejected artifact, but the status makes it
+            // unusable: the service and daemon only cache ok results,
+            // and portfolio candidates need ok() to be eligible.
+            out.status = CompileStatus::verifyFailed(
+                report.toString());
+            out.failedStage = "verification";
+            StageTrace vtrace;
+            vtrace.stage = "verification";
+            vtrace.pass = "translation-validate";
+            vtrace.seconds = secondsSince(t_verify);
+            vtrace.note = std::to_string(report.errorCount()) +
+                          " error(s), " +
+                          std::to_string(report.warningCount()) +
+                          " warning(s)";
+            p.stageTraces.push_back(std::move(vtrace));
+        }
+    }
+
     p.compileSeconds = secondsSince(t_run);
     return out;
+}
+
+bool
+Pipeline::verifies() const
+{
+    switch (verify_) {
+      case PipelineVerify::On: return true;
+      case PipelineVerify::Off: return false;
+      case PipelineVerify::Default: return defaultVerifyEnabled();
+    }
+    return false;
+}
+
+VerifyOptions
+Pipeline::verifyOptionsFor(const SchedulerOptions &schedOptions) const
+{
+    VerifyOptions opts;
+    // The list-scheduler bundles route via expandRoute, whose restore
+    // SWAPs undo every chain; the tracking router's layout drifts.
+    opts.expectRestoredLayout = !routesLive_;
+    opts.durations = routesLive_ || schedOptions.calibratedDurations
+                         ? VerifyDurations::Calibrated
+                         : VerifyDurations::Uniform;
+    return opts;
 }
 
 CompiledProgram
@@ -124,6 +174,11 @@ Pipeline::compile(const Circuit &prog) const
 {
     PipelineResult result = run(prog);
     if (!result.hasProgram)
+        throw FatalError(result.status.message);
+    // Verification failures stay loud under the legacy contract:
+    // returning a program the validator rejected would hand callers a
+    // silently-broken executable.
+    if (result.status.code == CompileStatusCode::VerifyFailed)
         throw FatalError(result.status.message);
     return std::move(result.program);
 }
@@ -169,6 +224,13 @@ PipelineBuilder::named(std::string name)
     return *this;
 }
 
+PipelineBuilder &
+PipelineBuilder::verification(PipelineVerify mode)
+{
+    verify_ = mode;
+    return *this;
+}
+
 Pipeline
 PipelineBuilder::build()
 {
@@ -200,6 +262,8 @@ PipelineBuilder::build()
 
     Pipeline pipeline;
     pipeline.machine_ = std::move(machine_);
+    pipeline.verify_ = verify_;
+    pipeline.routesLive_ = scheduling_->routesLive();
     pipeline.name_ =
         name_.empty() ? placement_->name() : std::move(name_);
     pipeline.passes_.push_back(std::move(placement_));

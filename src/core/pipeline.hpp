@@ -40,8 +40,21 @@
 #include "sched/schedule.hpp"
 #include "support/cancel.hpp"
 #include "support/status.hpp"
+#include "verify/verifier.hpp"
 
 namespace qc {
+
+/**
+ * Whether a pipeline runs the translation validator
+ * (verify/verifier.hpp) on every program it assembles. Default defers
+ * to defaultVerifyEnabled(): on in Debug builds, off in Release,
+ * either way overridable with the QC_VERIFY environment variable.
+ */
+enum class PipelineVerify {
+    Default, ///< follow defaultVerifyEnabled()
+    On,      ///< always verify (naqc --verify, CI)
+    Off,     ///< never verify
+};
 
 /**
  * Everything a compilation carries between passes: the inputs
@@ -244,6 +257,23 @@ class Pipeline
         return passes_;
     }
 
+    /** True when run() will verify its assembled programs. */
+    bool verifies() const;
+
+    /** True when the scheduling stage chooses routes itself. */
+    bool routesLive() const { return routesLive_; }
+
+    /**
+     * The verification policy matching this pipeline's scheduler for
+     * a given realized route-selection config: live-routing bundles
+     * drift the layout and always use calibrated durations; the
+     * list-scheduler bundles restore it and follow the routing pass's
+     * calibratedDurations choice. Callers re-verifying a program
+     * produced elsewhere should prefer VerifyDurations::Auto.
+     */
+    VerifyOptions verifyOptionsFor(
+        const SchedulerOptions &schedOptions) const;
+
   private:
     friend class PipelineBuilder;
     Pipeline() = default;
@@ -251,6 +281,8 @@ class Pipeline
     std::shared_ptr<const Machine> machine_;
     std::string name_;
     std::vector<std::shared_ptr<const Pass>> passes_;
+    PipelineVerify verify_ = PipelineVerify::Default;
+    bool routesLive_ = false; ///< scheduler chooses routes itself
 };
 
 /**
@@ -278,6 +310,9 @@ class PipelineBuilder
     PipelineBuilder &prediction(std::unique_ptr<PredictionPass> pass);
     PipelineBuilder &named(std::string name);
 
+    /** Translation-validation policy (default: Debug on, CI env). */
+    PipelineBuilder &verification(PipelineVerify mode);
+
     /** Finalize. Throws FatalError if no placement pass was given. */
     Pipeline build();
 
@@ -288,6 +323,7 @@ class PipelineBuilder
     std::unique_ptr<RoutingPass> routing_;
     std::unique_ptr<SchedulingPass> scheduling_;
     std::unique_ptr<PredictionPass> prediction_;
+    PipelineVerify verify_ = PipelineVerify::Default;
 };
 
 } // namespace qc

@@ -238,13 +238,42 @@ PortfolioPass::run(const Circuit &prog, PortfolioExecutor *executor,
     };
 
     int chosen = -1;
-    for (size_t i = 0; i < n; ++i) {
-        if (!isEligible(slots[i].result))
-            continue;
-        if (chosen < 0 ||
-            better(slots[i].result, slots[chosen].result))
-            chosen = static_cast<int>(i);
+    auto selectEligible = [&] {
+        chosen = -1;
+        for (size_t i = 0; i < n; ++i) {
+            if (!isEligible(slots[i].result))
+                continue;
+            if (chosen < 0 ||
+                better(slots[i].result, slots[chosen].result))
+                chosen = static_cast<int>(i);
+        }
+    };
+    selectEligible();
+
+    // Winner verification: selection only commits to a program the
+    // translation validator accepts. When the candidate's pipeline
+    // already verified inline (Debug builds, QC_VERIFY, --verify) a
+    // failure made it ineligible above; otherwise verify the winner
+    // here, demote it on rejection, and re-select — deterministic,
+    // since verification and bundle-order selection both are.
+    std::vector<char> verifyRejected(n, 0);
+    while (chosen >= 0 &&
+           !pipelines_[static_cast<size_t>(chosen)].verifies()) {
+        PipelineResult &r = slots[static_cast<size_t>(chosen)].result;
+        VerifyOptions vopts;
+        vopts.expectRestoredLayout =
+            !pipelines_[static_cast<size_t>(chosen)].routesLive();
+        const VerifyReport report =
+            ProgramVerifier(*machine_, vopts).verify(prog, r.program);
+        if (report.ok())
+            break;
+        r.status = CompileStatus::verifyFailed(report.toString());
+        r.failedStage = "verification";
+        verifyRejected[static_cast<size_t>(chosen)] = 1;
+        ++out.verifyRejectedCount;
+        selectEligible();
     }
+
     if (chosen < 0) {
         // No eligible candidate: keep the single-bundle degraded
         // contract and return the best program produced at all.
@@ -269,6 +298,7 @@ PortfolioPass::run(const Circuit &prog, PortfolioExecutor *executor,
         c.eligible = isEligible(s.result);
         c.cancelled =
             s.result.status.code == CompileStatusCode::Cancelled;
+        c.verifyRejected = verifyRejected[i] != 0;
         if (s.result.hasProgram) {
             c.predictedSuccess = s.result.program.predictedSuccess;
             c.duration = s.result.program.duration;

@@ -68,6 +68,7 @@ struct PortfolioCandidate
     bool eligible = false;      ///< could this candidate win?
     bool winner = false;
     bool cancelled = false;     ///< status.code == Cancelled
+    bool verifyRejected = false; ///< won selection, failed validation
     double predictedSuccess = 0.0; ///< valid iff hasProgram
     Timeslot duration = 0;         ///< valid iff hasProgram
     int swapCount = 0;             ///< valid iff hasProgram
@@ -91,6 +92,13 @@ struct PortfolioResult
 
     int launchedCount = 0;  ///< candidates whose pipeline actually ran
     int cancelledCount = 0; ///< cancelled (incl. skipped before start)
+
+    /**
+     * Would-be winners the translation validator rejected before
+     * selection committed (each demoted deterministically, the next
+     * best candidate re-selected in bundle order).
+     */
+    int verifyRejectedCount = 0;
 
     /** circuitSuccessUpperBound for this race (diagnostic). */
     double upperBound = 0.0;

@@ -10,6 +10,7 @@
 #include "service/portfolio_executor.hpp"
 #include "support/fingerprint.hpp"
 #include "support/logging.hpp"
+#include "verify/verifier.hpp"
 
 namespace qc::daemon {
 
@@ -228,18 +229,24 @@ CompileDaemon::runJob(const std::shared_ptr<JobRecord> &record)
                    record->circuitFp, record->optionsFp);
 
     CacheSource source = CacheSource::None;
+    bool verifiedOnLoad = false;
+    bool healedEntry = false;
     try {
+        std::shared_ptr<const CompiledProgram> fromDisk;
         if (auto cached = memCache_.lookup(key)) {
             result.ok = true;
             result.cacheHit = true;
             result.program = std::move(cached);
             result.machine = epoch->machine;
             source = CacheSource::Memory;
-        } else if (auto loaded = disk_.load(key)) {
-            memCache_.insert(key, loaded);
+        } else if ((fromDisk = loadVerified(key, record->circuit,
+                                            *epoch->machine,
+                                            verifiedOnLoad,
+                                            healedEntry))) {
+            memCache_.insert(key, fromDisk);
             result.ok = true;
             result.cacheHit = true;
-            result.program = std::move(loaded);
+            result.program = std::move(fromDisk);
             result.machine = epoch->machine;
             source = CacheSource::Disk;
         } else {
@@ -310,8 +317,40 @@ CompileDaemon::runJob(const std::shared_ptr<JobRecord> &record)
         record->result = std::move(result);
         if (source == CacheSource::Disk)
             ++diskHits_;
+        if (verifiedOnLoad)
+            ++verifiedOnLoad_;
+        if (healedEntry)
+            ++healed_;
     }
     finishJob(record);
+}
+
+std::shared_ptr<const CompiledProgram>
+CompileDaemon::loadVerified(const service::CacheKey &key,
+                            const Circuit &circuit,
+                            const Machine &machine,
+                            bool &verifiedOnLoad, bool &healedEntry)
+{
+    auto loaded = disk_.load(key);
+    if (!loaded || !options_.verifyOnLoad)
+        return loaded;
+    // The frame checksum only proves the bytes round-tripped; the
+    // translation validator proves the program still satisfies the
+    // compiled-program contracts against *this* epoch's machine (the
+    // cache key pins the machine fingerprint, so a mismatch means
+    // the entry is broken, not merely stale). Auto durations: the
+    // producing bundle's duration model is not recorded in the entry.
+    const VerifyReport report =
+        ProgramVerifier(machine).verify(circuit, *loaded);
+    if (report.ok()) {
+        verifiedOnLoad = true;
+        return loaded;
+    }
+    // Checksum-valid but semantically broken: purge the entry and
+    // recompile — the fresh ok result re-stores, healing the slot.
+    disk_.remove(key);
+    healedEntry = true;
+    return nullptr;
 }
 
 void
@@ -493,6 +532,8 @@ CompileDaemon::stats() const
         s.rejected = rejected_;
         s.diskHits = diskHits_;
         s.warmRecompiles = warmRecompiles_;
+        s.verifiedOnLoad = verifiedOnLoad_;
+        s.healed = healed_;
         for (const auto &[name, ts] : tenants_)
             s.tenants.push_back(ts);
     }

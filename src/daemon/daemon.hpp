@@ -63,6 +63,14 @@ struct DaemonOptions
     std::uint64_t tenantQuota = 64; ///< max in-flight per tenant; 0 off
     int warmTopK = 32;      ///< hot fingerprints recompiled on rollover
     std::size_t jobHistory = 65536; ///< completed records retained
+
+    /**
+     * Run the translation validator over every disk-cache entry
+     * before serving it. A checksum-valid but semantically broken
+     * entry (torn tooling, stale format, bit rot the frame missed) is
+     * unlinked and recompiled instead of served — counted as healed.
+     */
+    bool verifyOnLoad = true;
 };
 
 /** One calibration epoch: an immutable machine-day snapshot. */
@@ -115,6 +123,8 @@ struct DaemonStats
     std::uint64_t rejected = 0;
     std::uint64_t diskHits = 0; ///< jobs served from the disk cache
     std::uint64_t warmRecompiles = 0; ///< rollover warm jobs enqueued
+    std::uint64_t verifiedOnLoad = 0; ///< disk entries served verified
+    std::uint64_t healed = 0; ///< broken disk entries purged on load
     int epochId = 0;
     int epochDay = 0;
     QueueStats queue;
@@ -208,6 +218,10 @@ class CompileDaemon
 
     void pump(int home_shard);
     void runJob(const std::shared_ptr<JobRecord> &record);
+    std::shared_ptr<const CompiledProgram> loadVerified(
+        const service::CacheKey &key, const Circuit &circuit,
+        const Machine &machine, bool &verifiedOnLoad,
+        bool &healedEntry);
     void finishJob(const std::shared_ptr<JobRecord> &record);
     void noteHotUse(const Circuit &circuit,
                     const CompilerOptions &options,
@@ -239,6 +253,8 @@ class CompileDaemon
     std::uint64_t rejected_ = 0;
     std::uint64_t diskHits_ = 0;
     std::uint64_t warmRecompiles_ = 0;
+    std::uint64_t verifiedOnLoad_ = 0;
+    std::uint64_t healed_ = 0;
     std::unordered_map<std::string, TenantStats> tenants_;
 
     mutable std::mutex hotMu_;

@@ -75,6 +75,15 @@ DiskCacheStore::load(const service::CacheKey &key)
 }
 
 bool
+DiskCacheStore::remove(const service::CacheKey &key)
+{
+    if (!enabled())
+        return false;
+    std::error_code ec;
+    return fs::remove(entryPath(key), ec) && !ec;
+}
+
+bool
 DiskCacheStore::store(const service::CacheKey &key,
                       const CompiledProgram &program)
 {

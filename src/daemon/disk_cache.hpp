@@ -75,6 +75,13 @@ class DiskCacheStore
     bool store(const service::CacheKey &key,
                const CompiledProgram &program);
 
+    /**
+     * Unlink the entry for `key` (verify-on-load healing: the frame
+     * checksum passed but the program failed validation). Returns
+     * true when a file was removed.
+     */
+    bool remove(const service::CacheKey &key);
+
     /** Number of .ncp entries currently on disk (directory scan). */
     std::size_t entryCount() const;
 

@@ -13,6 +13,7 @@ compileStatusCodeName(CompileStatusCode code)
       case CompileStatusCode::SolverTimeout: return "solver-timeout";
       case CompileStatusCode::InternalError: return "internal-error";
       case CompileStatusCode::Cancelled: return "cancelled";
+      case CompileStatusCode::VerifyFailed: return "verify-failed";
     }
     QC_PANIC("unknown compile status code");
 }

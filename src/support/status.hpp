@@ -30,6 +30,7 @@ enum class CompileStatusCode {
     SolverTimeout, ///< the solver exhausted its budget without a model
     InternalError, ///< unexpected failure (library or solver bug)
     Cancelled,     ///< a CancelToken stopped the run (portfolio loser)
+    VerifyFailed,  ///< the translation validator rejected the output
 };
 
 const char *compileStatusCodeName(CompileStatusCode code);
@@ -58,6 +59,10 @@ struct CompileStatus
     static CompileStatus cancelled(std::string msg)
     {
         return {CompileStatusCode::Cancelled, std::move(msg)};
+    }
+    static CompileStatus verifyFailed(std::string msg)
+    {
+        return {CompileStatusCode::VerifyFailed, std::move(msg)};
     }
 };
 

@@ -1,0 +1,173 @@
+#include "mutate.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "support/logging.hpp"
+
+namespace qc {
+
+const char *
+mutationKindName(MutationKind kind)
+{
+    switch (kind) {
+      case MutationKind::OffEdgeGate: return "off-edge-gate";
+      case MutationKind::ShiftStartTime: return "shift-start-time";
+      case MutationKind::DropSwap: return "drop-swap";
+      case MutationKind::DuplicateOp: return "duplicate-op";
+      case MutationKind::DropGate: return "drop-gate";
+      case MutationKind::RetargetMeasure: return "retarget-measure";
+      case MutationKind::CorruptMakespan: return "corrupt-makespan";
+      case MutationKind::CorruptLayout: return "corrupt-layout";
+      case MutationKind::StretchDuration: return "stretch-duration";
+    }
+    QC_PANIC("unknown mutation kind");
+}
+
+MutationKind
+mutationKindFromName(const std::string &name)
+{
+    for (MutationKind k : kAllMutationKinds)
+        if (name == mutationKindName(k))
+            return k;
+    std::ostringstream oss;
+    oss << "unknown mutation kind '" << name << "'; valid:";
+    for (MutationKind k : kAllMutationKinds)
+        oss << ' ' << mutationKindName(k);
+    throw FatalError(oss.str());
+}
+
+namespace {
+
+/** Indices into `ops` whose op satisfies `pred`, in op order. */
+template <typename Pred>
+std::vector<size_t>
+matching(const std::vector<TimedOp> &ops, Pred pred)
+{
+    std::vector<size_t> idx;
+    for (size_t i = 0; i < ops.size(); ++i)
+        if (pred(ops[i]))
+            idx.push_back(i);
+    return idx;
+}
+
+/** Pick one element of a non-empty index list. */
+size_t
+pick(const std::vector<size_t> &idx, Rng &rng)
+{
+    return idx[static_cast<size_t>(
+        rng.uniformInt(0, static_cast<int>(idx.size()) - 1))];
+}
+
+} // namespace
+
+bool
+applyMutation(CompiledProgram &program, const Machine &machine,
+              MutationKind kind, Rng &rng)
+{
+    std::vector<TimedOp> &ops = program.schedule.ops;
+    if (ops.empty())
+        return false;
+
+    switch (kind) {
+      case MutationKind::OffEdgeGate: {
+        const auto twoq = matching(ops, [](const TimedOp &op) {
+            return op.gate.isTwoQubit();
+        });
+        if (twoq.empty())
+            return false;
+        TimedOp &op = ops[pick(twoq, rng)];
+        const int n = machine.numQubits();
+        const int off = rng.uniformInt(0, n - 1);
+        for (int d = 0; d < n; ++d) {
+            const int cand = (off + d) % n;
+            if (cand == op.gate.q0 || cand == op.gate.q1)
+                continue;
+            if (machine.topo().edgeBetween(op.gate.q0, cand) ==
+                kInvalidEdge) {
+                op.gate.q1 = cand;
+                return true;
+            }
+        }
+        return false; // fully connected: no off-edge target exists
+      }
+
+      case MutationKind::ShiftStartTime: {
+        // Past the declared makespan: provably outside every macro
+        // window and provably inconsistent with the declared values.
+        TimedOp &op = ops[static_cast<size_t>(
+            rng.uniformInt(0, static_cast<int>(ops.size()) - 1))];
+        op.start += program.schedule.makespan + 1;
+        return true;
+      }
+
+      case MutationKind::DropSwap: {
+        const auto swaps = matching(ops, [](const TimedOp &op) {
+            return op.isRouteSwap;
+        });
+        if (swaps.empty())
+            return false;
+        ops.erase(ops.begin() +
+                  static_cast<std::ptrdiff_t>(pick(swaps, rng)));
+        return true;
+      }
+
+      case MutationKind::DuplicateOp: {
+        const auto plain = matching(ops, [](const TimedOp &op) {
+            return op.gate.op != Op::Swap;
+        });
+        if (plain.empty())
+            return false;
+        const size_t i = pick(plain, rng);
+        // Insert right after the original: start order is preserved,
+        // so the duplicate is a pure replay of the same gate.
+        ops.insert(ops.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                   ops[i]);
+        return true;
+      }
+
+      case MutationKind::DropGate: {
+        const auto plain = matching(ops, [](const TimedOp &op) {
+            return op.gate.op != Op::Swap;
+        });
+        if (plain.empty())
+            return false;
+        ops.erase(ops.begin() +
+                  static_cast<std::ptrdiff_t>(pick(plain, rng)));
+        return true;
+      }
+
+      case MutationKind::RetargetMeasure: {
+        const auto meas = matching(ops, [](const TimedOp &op) {
+            return op.gate.op == Op::Measure;
+        });
+        if (meas.empty())
+            return false;
+        ops[pick(meas, rng)].gate.cbit += 1;
+        return true;
+      }
+
+      case MutationKind::CorruptMakespan: {
+        program.schedule.makespan += 7;
+        return true;
+      }
+
+      case MutationKind::CorruptLayout: {
+        if (program.layout.size() < 2)
+            return false;
+        program.layout[0] = program.layout[1];
+        return true;
+      }
+
+      case MutationKind::StretchDuration: {
+        TimedOp &op = ops[static_cast<size_t>(
+            rng.uniformInt(0, static_cast<int>(ops.size()) - 1))];
+        op.duration += 3;
+        return true;
+      }
+    }
+    QC_PANIC("unknown mutation kind");
+}
+
+} // namespace qc

@@ -1,0 +1,777 @@
+#include "verifier.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "support/logging.hpp"
+
+namespace qc {
+
+const char *
+verifySeverityName(VerifySeverity s)
+{
+    switch (s) {
+      case VerifySeverity::Warning: return "warning";
+      case VerifySeverity::Error: return "error";
+    }
+    QC_PANIC("unknown verify severity");
+}
+
+const char *
+verifyCodeName(VerifyCode code)
+{
+    switch (code) {
+      case VerifyCode::LayoutInvalid: return "layout-invalid";
+      case VerifyCode::ScheduleShape: return "schedule-shape";
+      case VerifyCode::OpQubitRange: return "op-qubit-range";
+      case VerifyCode::EdgeMissing: return "edge-missing";
+      case VerifyCode::ReliabilityInvalid: return "reliability-invalid";
+      case VerifyCode::GateDropped: return "gate-dropped";
+      case VerifyCode::GateDuplicated: return "gate-duplicated";
+      case VerifyCode::GateMismatch: return "gate-mismatch";
+      case VerifyCode::DependencyOrder: return "dependency-order";
+      case VerifyCode::MeasureMissing: return "measure-missing";
+      case VerifyCode::MeasureMismatch: return "measure-mismatch";
+      case VerifyCode::SwapAnnotation: return "swap-annotation";
+      case VerifyCode::FinalPermutation: return "final-permutation";
+      case VerifyCode::Provenance: return "provenance";
+      case VerifyCode::QubitOverlap: return "qubit-overlap";
+      case VerifyCode::MacroOverlap: return "macro-overlap";
+      case VerifyCode::MacroWindow: return "macro-window";
+      case VerifyCode::DurationModel: return "duration-model";
+      case VerifyCode::MakespanMismatch: return "makespan-mismatch";
+      case VerifyCode::QubitFinishMismatch:
+          return "qubit-finish-mismatch";
+    }
+    QC_PANIC("unknown verify code");
+}
+
+std::string
+VerifyIssue::toString() const
+{
+    std::ostringstream oss;
+    oss << verifySeverityName(severity) << '[' << verifyCodeName(code)
+        << ']';
+    if (opIndex >= 0)
+        oss << " op " << opIndex;
+    oss << ": " << detail;
+    return oss.str();
+}
+
+int
+VerifyReport::errorCount() const
+{
+    int n = 0;
+    for (const VerifyIssue &i : issues)
+        n += i.severity == VerifySeverity::Error ? 1 : 0;
+    return n;
+}
+
+int
+VerifyReport::warningCount() const
+{
+    int n = 0;
+    for (const VerifyIssue &i : issues)
+        n += i.severity == VerifySeverity::Warning ? 1 : 0;
+    return n;
+}
+
+bool
+VerifyReport::has(VerifyCode code) const
+{
+    for (const VerifyIssue &i : issues)
+        if (i.code == code)
+            return true;
+    return false;
+}
+
+std::string
+VerifyReport::toString() const
+{
+    std::ostringstream oss;
+    for (const VerifyIssue &i : issues)
+        oss << i.toString() << '\n';
+    oss << "verify: " << errorCount() << " error(s), "
+        << warningCount() << " warning(s)";
+    if (!durationsChecked.empty())
+        oss << " [durations=" << durationsChecked << ']';
+    return oss.str();
+}
+
+namespace {
+
+/**
+ * One verification run. Bundles the triple plus the evolving report
+ * so the check families stay small; all indices in findings refer to
+ * the start-ordered op stream (Schedule::opsByStart), the canonical
+ * replay order — ops sharing a qubit never overlap (checked), and
+ * disjoint-qubit ops commute, so any start-consistent order is sound.
+ */
+class Verification
+{
+  public:
+    Verification(const Machine &machine, const VerifyOptions &options,
+                 const Circuit &source, const CompiledProgram &program)
+        : machine_(machine), options_(options), source_(source),
+          program_(program), ops_(program.schedule.opsByStart())
+    {
+    }
+
+    VerifyReport run()
+    {
+        const bool layoutOk = checkLayout();
+        checkShape();
+        checkStaticLegality();
+        checkDurations();
+        checkQubitOverlap();
+        checkMakespan();
+        checkQubitFinish();
+        checkMacros();
+        if (layoutOk)
+            replay();
+        return std::move(report_);
+    }
+
+  private:
+    void error(VerifyCode code, int opIndex, std::string detail)
+    {
+        report_.issues.push_back({VerifySeverity::Error, code, opIndex,
+                                  std::move(detail)});
+    }
+
+    void warning(VerifyCode code, int opIndex, std::string detail)
+    {
+        report_.issues.push_back({VerifySeverity::Warning, code,
+                                  opIndex, std::move(detail)});
+    }
+
+    int numHw() const { return machine_.numQubits(); }
+
+    bool opOperandsValid(const TimedOp &op) const
+    {
+        const Gate &g = op.gate;
+        if (g.q0 < 0 || g.q0 >= numHw())
+            return false;
+        if (g.isTwoQubit() && (g.q1 < 0 || g.q1 >= numHw() ||
+                               g.q1 == g.q0))
+            return false;
+        return true;
+    }
+
+    /** Layout must be an injection prog qubits -> hw qubits. */
+    bool checkLayout()
+    {
+        const auto &layout = program_.layout;
+        if (static_cast<int>(layout.size()) != source_.numQubits()) {
+            std::ostringstream oss;
+            oss << "layout has " << layout.size() << " entries for "
+                << source_.numQubits() << " program qubits";
+            error(VerifyCode::LayoutInvalid, -1, oss.str());
+            return false;
+        }
+        std::vector<char> seen(static_cast<size_t>(numHw()), 0);
+        bool ok = true;
+        for (size_t p = 0; p < layout.size(); ++p) {
+            const HwQubit h = layout[p];
+            std::ostringstream oss;
+            if (h < 0 || h >= numHw()) {
+                oss << "program qubit " << p << " placed on hw qubit "
+                    << h << " outside [0, " << numHw() << ")";
+                error(VerifyCode::LayoutInvalid, -1, oss.str());
+                ok = false;
+            } else if (seen[static_cast<size_t>(h)]) {
+                oss << "hw qubit " << h
+                    << " assigned to more than one program qubit";
+                error(VerifyCode::LayoutInvalid, -1, oss.str());
+                ok = false;
+            } else {
+                seen[static_cast<size_t>(h)] = 1;
+            }
+        }
+        return ok;
+    }
+
+    /** Structural bookkeeping: sizes, counters, time sanity. */
+    void checkShape()
+    {
+        const Schedule &s = program_.schedule;
+        if (s.numHwQubits != numHw()) {
+            std::ostringstream oss;
+            oss << "schedule covers " << s.numHwQubits
+                << " hw qubits, machine has " << numHw();
+            error(VerifyCode::ScheduleShape, -1, oss.str());
+        }
+        if (static_cast<int>(s.qubitFinish.size()) != numHw()) {
+            std::ostringstream oss;
+            oss << "qubitFinish has " << s.qubitFinish.size()
+                << " entries for " << numHw() << " hw qubits";
+            error(VerifyCode::ScheduleShape, -1, oss.str());
+        }
+        if (program_.swapCount != s.swapCount()) {
+            std::ostringstream oss;
+            oss << "program declares " << program_.swapCount
+                << " SWAPs, schedule contains " << s.swapCount();
+            error(VerifyCode::ScheduleShape, -1, oss.str());
+        }
+        for (size_t i = 0; i < ops_.size(); ++i) {
+            const TimedOp &op = ops_[i];
+            if (op.start < 0 || op.duration <= 0) {
+                std::ostringstream oss;
+                oss << op.gate.toString() << " has start " << op.start
+                    << " / duration " << op.duration;
+                error(VerifyCode::ScheduleShape,
+                      static_cast<int>(i), oss.str());
+            }
+        }
+    }
+
+    /** Coupling legality + calibration-reliability sanity per op. */
+    void checkStaticLegality()
+    {
+        const Topology &topo = machine_.topo();
+        const Calibration &cal = machine_.cal();
+        opEdge_.assign(ops_.size(), kInvalidEdge);
+        for (size_t i = 0; i < ops_.size(); ++i) {
+            const TimedOp &op = ops_[i];
+            const Gate &g = op.gate;
+            if (!opOperandsValid(op)) {
+                std::ostringstream oss;
+                oss << g.toString() << " has operands outside [0, "
+                    << numHw() << ")";
+                error(VerifyCode::OpQubitRange, static_cast<int>(i),
+                      oss.str());
+                continue;
+            }
+            if (g.op == Op::Measure && g.cbit < 0) {
+                std::ostringstream oss;
+                oss << g.toString() << " targets clbit " << g.cbit;
+                error(VerifyCode::OpQubitRange, static_cast<int>(i),
+                      oss.str());
+            }
+            if (g.isTwoQubit()) {
+                const EdgeId e = topo.edgeBetween(g.q0, g.q1);
+                if (e == kInvalidEdge) {
+                    std::ostringstream oss;
+                    oss << g.toString() << ": hw qubits " << g.q0
+                        << " and " << g.q1
+                        << " are not coupled on " << topo.name();
+                    error(VerifyCode::EdgeMissing,
+                          static_cast<int>(i), oss.str());
+                    continue;
+                }
+                opEdge_[i] = e;
+                checkReliability(static_cast<int>(i), g,
+                                 cal.cnotReliability(e), "CNOT edge");
+            } else if (g.op == Op::Measure) {
+                checkReliability(static_cast<int>(i), g,
+                                 cal.readoutReliability(g.q0),
+                                 "readout");
+            } else {
+                checkReliability(static_cast<int>(i), g,
+                                 1.0 - cal.oneQubitError, "1q gate");
+            }
+        }
+    }
+
+    void checkReliability(int opIndex, const Gate &g, double r,
+                          const char *what)
+    {
+        if (std::isfinite(r) && r > 0.0 && r <= 1.0)
+            return;
+        std::ostringstream oss;
+        oss << g.toString() << ": " << what << " reliability " << r
+            << " outside (0, 1]";
+        error(VerifyCode::ReliabilityInvalid, opIndex, oss.str());
+    }
+
+    /** Expected duration of op i under `model`; -1 when unknowable. */
+    Timeslot expectedDuration(size_t i, VerifyDurations model) const
+    {
+        const Gate &g = ops_[i].gate;
+        const Calibration &cal = machine_.cal();
+        if (g.op == Op::Measure)
+            return cal.readoutDuration;
+        if (!g.isTwoQubit())
+            return cal.oneQubitDuration;
+        Timeslot cnot;
+        if (model == VerifyDurations::Uniform) {
+            cnot = machine_.uniformCnotDuration();
+        } else {
+            if (opEdge_[i] == kInvalidEdge)
+                return -1; // off-edge: already an EdgeMissing error
+            cnot = cal.cnotDuration[static_cast<size_t>(opEdge_[i])];
+        }
+        return g.op == Op::Swap ? 3 * cnot : cnot;
+    }
+
+    bool durationsMatch(VerifyDurations model) const
+    {
+        for (size_t i = 0; i < ops_.size(); ++i) {
+            const Timeslot want = expectedDuration(i, model);
+            if (want >= 0 && ops_[i].duration != want)
+                return false;
+        }
+        return true;
+    }
+
+    void reportDurationMismatches(VerifyDurations model)
+    {
+        for (size_t i = 0; i < ops_.size(); ++i) {
+            const Timeslot want = expectedDuration(i, model);
+            if (want < 0 || ops_[i].duration == want)
+                continue;
+            std::ostringstream oss;
+            oss << ops_[i].gate.toString() << " lasts "
+                << ops_[i].duration << " slots, "
+                << (model == VerifyDurations::Uniform ? "uniform"
+                                                      : "calibrated")
+                << " model expects " << want;
+            error(VerifyCode::DurationModel, static_cast<int>(i),
+                  oss.str());
+        }
+    }
+
+    void checkDurations()
+    {
+        VerifyDurations model = options_.durations;
+        if (model == VerifyDurations::Auto) {
+            // Calibrated when it fits; a schedule matching neither is
+            // reported against the calibrated model (the repo's
+            // default and the only model live routing ever uses).
+            model = durationsMatch(VerifyDurations::Calibrated)
+                        ? VerifyDurations::Calibrated
+                        : VerifyDurations::Uniform;
+            if (model == VerifyDurations::Uniform &&
+                !durationsMatch(VerifyDurations::Uniform))
+                model = VerifyDurations::Calibrated;
+        }
+        report_.durationsChecked =
+            model == VerifyDurations::Uniform ? "uniform"
+                                              : "calibrated";
+        reportDurationMismatches(model);
+    }
+
+    /** No two ops overlapping in time may share a hardware qubit. */
+    void checkQubitOverlap()
+    {
+        std::vector<Timeslot> lastFinish(
+            static_cast<size_t>(numHw()), 0);
+        std::vector<int> lastOp(static_cast<size_t>(numHw()), -1);
+        for (size_t i = 0; i < ops_.size(); ++i) {
+            const TimedOp &op = ops_[i];
+            if (!opOperandsValid(op))
+                continue; // already an OpQubitRange error
+            const int touched[2] = {
+                op.gate.q0,
+                op.gate.isTwoQubit() ? op.gate.q1 : kInvalidQubit};
+            for (int q : touched) {
+                if (q == kInvalidQubit)
+                    continue;
+                const auto uq = static_cast<size_t>(q);
+                if (op.start < lastFinish[uq]) {
+                    std::ostringstream oss;
+                    oss << op.gate.toString() << " starts at "
+                        << op.start << " while op " << lastOp[uq]
+                        << " still holds hw qubit " << q << " until "
+                        << lastFinish[uq];
+                    error(VerifyCode::QubitOverlap,
+                          static_cast<int>(i), oss.str());
+                }
+                if (op.finish() > lastFinish[uq]) {
+                    lastFinish[uq] = op.finish();
+                    lastOp[uq] = static_cast<int>(i);
+                }
+            }
+        }
+    }
+
+    void checkMakespan()
+    {
+        Timeslot maxFinish = 0;
+        for (const TimedOp &op : ops_)
+            maxFinish = std::max(maxFinish, op.finish());
+        if (program_.schedule.makespan != maxFinish) {
+            std::ostringstream oss;
+            oss << "schedule declares makespan "
+                << program_.schedule.makespan
+                << " but the last op finishes at " << maxFinish;
+            error(VerifyCode::MakespanMismatch, -1, oss.str());
+        }
+        if (program_.duration != program_.schedule.makespan) {
+            std::ostringstream oss;
+            oss << "program duration " << program_.duration
+                << " differs from schedule makespan "
+                << program_.schedule.makespan;
+            error(VerifyCode::MakespanMismatch, -1, oss.str());
+        }
+    }
+
+    void checkQubitFinish()
+    {
+        const Schedule &s = program_.schedule;
+        if (static_cast<int>(s.qubitFinish.size()) != numHw())
+            return; // already a ScheduleShape error
+        std::vector<Timeslot> want(static_cast<size_t>(numHw()), 0);
+        for (const TimedOp &op : ops_) {
+            if (!opOperandsValid(op))
+                continue;
+            auto bump = [&](int q) {
+                auto &slot = want[static_cast<size_t>(q)];
+                slot = std::max(slot, op.finish());
+            };
+            bump(op.gate.q0);
+            if (op.gate.isTwoQubit())
+                bump(op.gate.q1);
+        }
+        for (int q = 0; q < numHw(); ++q) {
+            const auto uq = static_cast<size_t>(q);
+            if (s.qubitFinish[uq] == want[uq])
+                continue;
+            std::ostringstream oss;
+            oss << "qubitFinish[" << q << "] = " << s.qubitFinish[uq]
+                << " but hw qubit " << q << "'s last op finishes at "
+                << want[uq];
+            error(VerifyCode::QubitFinishMismatch, -1, oss.str());
+        }
+    }
+
+    /**
+     * Macro reservation footprint: every op must sit inside its
+     * program gate's macro window, and two macros that overlap in
+     * time must touch disjoint hardware qubits — equivalently, the
+     * macro intervals touching any one qubit are pairwise disjoint
+     * (both schedulers serialize a macro's touched qubits to its
+     * finish time, so this holds policy-free for every bundle).
+     */
+    void checkMacros()
+    {
+        const Schedule &s = program_.schedule;
+        std::vector<int> macroOf(source_.size(), -1);
+        for (size_t j = 0; j < s.macros.size(); ++j) {
+            const MacroTiming &m = s.macros[j];
+            if (m.progGate < 0 ||
+                m.progGate >= static_cast<int>(source_.size())) {
+                std::ostringstream oss;
+                oss << "macro " << j << " names program gate "
+                    << m.progGate << " of a " << source_.size()
+                    << "-gate circuit";
+                error(VerifyCode::ScheduleShape, -1, oss.str());
+                continue;
+            }
+            if (macroOf[static_cast<size_t>(m.progGate)] != -1) {
+                std::ostringstream oss;
+                oss << "program gate " << m.progGate
+                    << " has more than one macro timing";
+                error(VerifyCode::ScheduleShape, -1, oss.str());
+                continue;
+            }
+            macroOf[static_cast<size_t>(m.progGate)] =
+                static_cast<int>(j);
+        }
+
+        // Window containment + per-qubit macro windows, as
+        // (start, finish, progGate) triples.
+        std::vector<std::vector<std::array<Timeslot, 3>>> perQubit(
+            static_cast<size_t>(numHw()));
+        for (size_t i = 0; i < ops_.size(); ++i) {
+            const TimedOp &op = ops_[i];
+            if (op.progGate < 0 ||
+                op.progGate >= static_cast<int>(source_.size())) {
+                std::ostringstream oss;
+                oss << op.gate.toString()
+                    << " carries program-gate provenance "
+                    << op.progGate;
+                warning(VerifyCode::Provenance, static_cast<int>(i),
+                        oss.str());
+                continue;
+            }
+            const int j = macroOf[static_cast<size_t>(op.progGate)];
+            if (j < 0) {
+                std::ostringstream oss;
+                oss << op.gate.toString()
+                    << " belongs to program gate " << op.progGate
+                    << " which has no macro timing";
+                error(VerifyCode::ScheduleShape, static_cast<int>(i),
+                      oss.str());
+                continue;
+            }
+            const MacroTiming &m = s.macros[static_cast<size_t>(j)];
+            if (op.start < m.start || op.finish() > m.finish()) {
+                std::ostringstream oss;
+                oss << op.gate.toString() << " runs [" << op.start
+                    << ", " << op.finish()
+                    << ") outside macro window [" << m.start << ", "
+                    << m.finish() << ") of program gate "
+                    << op.progGate;
+                error(VerifyCode::MacroWindow, static_cast<int>(i),
+                      oss.str());
+            }
+            if (options_.checkMacroExclusion && opOperandsValid(op)) {
+                auto touch = [&](int q) {
+                    perQubit[static_cast<size_t>(q)].push_back(
+                        {m.start, m.finish(),
+                         static_cast<Timeslot>(m.progGate)});
+                };
+                touch(op.gate.q0);
+                if (op.gate.isTwoQubit())
+                    touch(op.gate.q1);
+            }
+        }
+
+        if (!options_.checkMacroExclusion)
+            return;
+        for (int q = 0; q < numHw(); ++q) {
+            auto &windows = perQubit[static_cast<size_t>(q)];
+            std::sort(windows.begin(), windows.end());
+            windows.erase(std::unique(windows.begin(), windows.end()),
+                          windows.end());
+            for (size_t k = 1; k < windows.size(); ++k) {
+                // Same macro listed once (unique); distinct macros on
+                // one qubit must not overlap in time.
+                if (windows[k][2] == windows[k - 1][2] ||
+                    windows[k][0] >= windows[k - 1][1])
+                    continue;
+                std::ostringstream oss;
+                oss << "macros of program gates " << windows[k - 1][2]
+                    << " and " << windows[k][2]
+                    << " overlap in time on shared hw qubit " << q;
+                error(VerifyCode::MacroOverlap, -1, oss.str());
+            }
+        }
+    }
+
+    /**
+     * Semantic faithfulness: replay the start-ordered op stream,
+     * tracking which logical qubit each hardware qubit holds. Route
+     * SWAPs permute the map; every other op is translated to logical
+     * operands and must match the front of each operand's source gate
+     * queue — the source DAG's dependency structure is exactly
+     * shared-qubit ordering, so "front of every operand queue" is
+     * "all DAG predecessors executed". O(gates) on the success path.
+     */
+    void replay()
+    {
+        std::vector<ProgQubit> occupant(static_cast<size_t>(numHw()),
+                                        kInvalidQubit);
+        for (size_t p = 0; p < program_.layout.size(); ++p)
+            occupant[static_cast<size_t>(program_.layout[p])] =
+                static_cast<ProgQubit>(p);
+
+        // Per logical qubit: the queue of source gate indices that
+        // touch it, in program order (a valid topological order of
+        // the source DAG), consumed from the front.
+        std::vector<std::vector<int>> queue(
+            static_cast<size_t>(source_.numQubits()));
+        std::vector<size_t> head(
+            static_cast<size_t>(source_.numQubits()), 0);
+        for (int gi = 0; gi < static_cast<int>(source_.size()); ++gi) {
+            const Gate &g = source_.gate(gi);
+            queue[static_cast<size_t>(g.q0)].push_back(gi);
+            if (g.isTwoQubit())
+                queue[static_cast<size_t>(g.q1)].push_back(gi);
+        }
+        std::vector<char> executed(source_.size(), 0);
+
+        auto front = [&](ProgQubit l) -> int {
+            const auto ul = static_cast<size_t>(l);
+            return head[ul] < queue[ul].size()
+                       ? queue[ul][head[ul]]
+                       : -1;
+        };
+        auto pending = [&](int gi, ProgQubit l) {
+            const auto ul = static_cast<size_t>(l);
+            for (size_t k = head[ul]; k < queue[ul].size(); ++k)
+                if (queue[ul][k] == gi)
+                    return true;
+            return false;
+        };
+
+        for (size_t i = 0; i < ops_.size(); ++i) {
+            const TimedOp &op = ops_[i];
+            const Gate &g = op.gate;
+            if (!opOperandsValid(op))
+                continue; // unreplayable; OpQubitRange already filed
+
+            if (g.op == Op::Swap && op.isRouteSwap) {
+                std::swap(occupant[static_cast<size_t>(g.q0)],
+                          occupant[static_cast<size_t>(g.q1)]);
+                continue;
+            }
+
+            const ProgQubit l0 =
+                occupant[static_cast<size_t>(g.q0)];
+            const ProgQubit l1 =
+                g.isTwoQubit() ? occupant[static_cast<size_t>(g.q1)]
+                               : kInvalidQubit;
+            if (l0 == kInvalidQubit ||
+                (g.isTwoQubit() && l1 == kInvalidQubit)) {
+                std::ostringstream oss;
+                oss << g.toString()
+                    << " acts on a hw qubit holding no program qubit";
+                error(VerifyCode::GateMismatch, static_cast<int>(i),
+                      oss.str());
+                if (g.op == Op::Swap)
+                    std::swap(occupant[static_cast<size_t>(g.q0)],
+                              occupant[static_cast<size_t>(g.q1)]);
+                continue;
+            }
+
+            // The logical gate this hardware op claims to execute.
+            Gate want;
+            want.op = g.op;
+            want.q0 = l0;
+            want.q1 = g.isTwoQubit() ? l1 : kInvalidQubit;
+            want.cbit = g.cbit;
+
+            const int f0 = front(l0);
+            const bool ready =
+                f0 >= 0 && source_.gate(f0) == want &&
+                (!g.isTwoQubit() || front(l1) == f0);
+            if (ready) {
+                ++head[static_cast<size_t>(l0)];
+                if (g.isTwoQubit())
+                    ++head[static_cast<size_t>(l1)];
+                executed[static_cast<size_t>(f0)] = 1;
+                if (op.progGate >= 0 && op.progGate != f0) {
+                    std::ostringstream oss;
+                    oss << g.toString() << " executes program gate "
+                        << f0 << " but claims provenance "
+                        << op.progGate;
+                    warning(VerifyCode::Provenance,
+                            static_cast<int>(i), oss.str());
+                }
+                continue;
+            }
+            classifyMismatch(static_cast<int>(i), g, want, executed,
+                             pending);
+            if (g.op == Op::Swap) // keep tracking past the error
+                std::swap(occupant[static_cast<size_t>(g.q0)],
+                          occupant[static_cast<size_t>(g.q1)]);
+        }
+
+        // Coverage: everything the source asked for must have run.
+        for (size_t gi = 0; gi < source_.size(); ++gi) {
+            if (executed[gi])
+                continue;
+            const Gate &g = source_.gate(static_cast<int>(gi));
+            std::ostringstream oss;
+            oss << "source gate " << gi << " (" << g.toString()
+                << ") never executed";
+            error(g.op == Op::Measure ? VerifyCode::MeasureMissing
+                                      : VerifyCode::GateDropped,
+                  -1, oss.str());
+        }
+
+        // Final permutation.
+        report_.finalLayout.assign(
+            static_cast<size_t>(source_.numQubits()), kInvalidQubit);
+        for (int h = 0; h < numHw(); ++h) {
+            const ProgQubit l = occupant[static_cast<size_t>(h)];
+            if (l != kInvalidQubit)
+                report_.finalLayout[static_cast<size_t>(l)] = h;
+        }
+        if (options_.expectRestoredLayout &&
+            report_.finalLayout != program_.layout) {
+            error(VerifyCode::FinalPermutation, -1,
+                  "routing was expected to restore the initial "
+                  "layout, but the final logical→physical map "
+                  "differs");
+        }
+    }
+
+    /** A non-ready op: say precisely how it breaks faithfulness. */
+    template <typename PendingFn>
+    void classifyMismatch(int opIndex, const Gate &g,
+                          const Gate &want,
+                          const std::vector<char> &executed,
+                          PendingFn &&pending)
+    {
+        // Error path only: a linear scan of the source is fine.
+        int dupOf = -1;
+        int blocked = -1;
+        for (int gi = 0; gi < static_cast<int>(source_.size());
+             ++gi) {
+            if (!(source_.gate(gi) == want))
+                continue;
+            if (executed[static_cast<size_t>(gi)] && dupOf < 0)
+                dupOf = gi;
+            if (!executed[static_cast<size_t>(gi)] &&
+                pending(gi, want.q0) && blocked < 0)
+                blocked = gi;
+        }
+        std::ostringstream oss;
+        oss << g.toString() << " translates to logical "
+            << want.toString();
+        if (blocked >= 0) {
+            oss << " = program gate " << blocked
+                << ", which still has unexecuted same-qubit "
+                   "predecessors";
+            error(VerifyCode::DependencyOrder, opIndex, oss.str());
+        } else if (dupOf >= 0) {
+            oss << " = program gate " << dupOf
+                << ", which already executed";
+            error(VerifyCode::GateDuplicated, opIndex, oss.str());
+        } else if (g.op == Op::Measure) {
+            oss << ", which matches no pending source measurement";
+            error(VerifyCode::MeasureMismatch, opIndex, oss.str());
+        } else if (g.op == Op::Swap) {
+            oss << ", but no source SWAP matches and the op is not "
+                   "flagged as a route SWAP";
+            error(VerifyCode::SwapAnnotation, opIndex, oss.str());
+        } else {
+            oss << ", which matches no pending source gate";
+            error(VerifyCode::GateMismatch, opIndex, oss.str());
+        }
+    }
+
+    const Machine &machine_;
+    const VerifyOptions &options_;
+    const Circuit &source_;
+    const CompiledProgram &program_;
+    std::vector<TimedOp> ops_;
+    std::vector<EdgeId> opEdge_;
+    VerifyReport report_;
+};
+
+} // namespace
+
+ProgramVerifier::ProgramVerifier(const Machine &machine,
+                                 VerifyOptions options)
+    : machine_(&machine), options_(options)
+{
+}
+
+VerifyReport
+ProgramVerifier::verify(const Circuit &source,
+                        const CompiledProgram &program) const
+{
+    Verification v(*machine_, options_, source, program);
+    return v.run();
+}
+
+bool
+defaultVerifyEnabled()
+{
+    if (const char *env = std::getenv("QC_VERIFY")) {
+        std::string v(env);
+        std::transform(v.begin(), v.end(), v.begin(), [](char c) {
+            return static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        });
+        if (!v.empty())
+            return v != "0" && v != "false" && v != "off" &&
+                   v != "no";
+    }
+#ifdef NDEBUG
+    return false;
+#else
+    return true;
+#endif
+}
+
+} // namespace qc

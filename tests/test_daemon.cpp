@@ -11,6 +11,8 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -19,10 +21,13 @@
 #include <gtest/gtest.h>
 
 #include "daemon/daemon.hpp"
+#include "daemon/program_serdes.hpp"
 #include "daemon/protocol.hpp"
 #include "ir/qasm.hpp"
 #include "machine/calibration_model.hpp"
+#include "support/rng.hpp"
 #include "tests/test_util.hpp"
+#include "verify/mutate.hpp"
 #include "workloads/benchmarks.hpp"
 
 namespace {
@@ -346,6 +351,103 @@ TEST(Daemon, CorruptCacheEntryIsRejectedAndRecompiled)
 
     JobSnapshot healed = submitAndWait(d2, circuit, "t1");
     EXPECT_EQ(healed.cacheSource, daemon::CacheSource::Memory);
+}
+
+TEST(Daemon, DiskEntriesAreVerifiedOnLoad)
+{
+    ScratchDir scratch("verify-load");
+    DaemonOptions opts = fastOptions();
+    opts.cacheDir = scratch.path.string();
+    const Circuit circuit = benchmarkByName("BV4").circuit;
+
+    {
+        CompileDaemon d(topo(), day(0), opts);
+        ASSERT_TRUE(submitAndWait(d, circuit).result.ok);
+        EXPECT_EQ(d.stats().verifiedOnLoad, 0u); // no disk load yet
+    }
+
+    CompileDaemon d2(topo(), day(0), opts);
+    JobSnapshot snap = submitAndWait(d2, circuit);
+    ASSERT_TRUE(snap.result.ok);
+    EXPECT_EQ(snap.cacheSource, daemon::CacheSource::Disk);
+    daemon::DaemonStats stats = d2.stats();
+    EXPECT_EQ(stats.verifiedOnLoad, 1u);
+    EXPECT_EQ(stats.healed, 0u);
+}
+
+TEST(Daemon, ChecksumValidButBrokenEntryIsHealedOnLoad)
+{
+    ScratchDir scratch("heal");
+    DaemonOptions opts = fastOptions();
+    opts.cacheDir = scratch.path.string();
+    const Circuit circuit = benchmarkByName("BV4").circuit;
+
+    {
+        CompileDaemon d(topo(), day(0), opts);
+        ASSERT_TRUE(submitAndWait(d, circuit).result.ok);
+    }
+
+    // Rewrite every entry as a *well-framed* blob whose program is
+    // semantically broken (a dropped gate): the checksum passes, so
+    // only verify-on-load can catch it.
+    auto machine = std::make_shared<const Machine>(topo(), day(0));
+    std::size_t rewritten = 0;
+    for (const fs::directory_entry &e :
+         fs::directory_iterator(scratch.path)) {
+        std::ifstream in(e.path(), std::ios::binary);
+        std::ostringstream oss;
+        oss << in.rdbuf();
+        in.close();
+        CompiledProgram program;
+        ASSERT_TRUE(
+            daemon::deserializeCompiledProgram(oss.str(), program));
+        Rng rng(test::kSeed);
+        ASSERT_TRUE(applyMutation(program, *machine,
+                                  MutationKind::DropGate, rng));
+        std::ofstream out(e.path(), std::ios::binary);
+        out << daemon::serializeCompiledProgram(program);
+        ++rewritten;
+    }
+    ASSERT_EQ(rewritten, 1u);
+
+    CompileDaemon d2(topo(), day(0), opts);
+    JobSnapshot snap = submitAndWait(d2, circuit);
+    ASSERT_TRUE(snap.result.ok);
+    // The broken entry was purged and the job recompiled fresh.
+    EXPECT_EQ(snap.cacheSource, daemon::CacheSource::None);
+    daemon::DaemonStats stats = d2.stats();
+    EXPECT_EQ(stats.healed, 1u);
+    EXPECT_EQ(stats.verifiedOnLoad, 0u);
+    EXPECT_EQ(stats.disk.corruptRejected, 0u); // frame was valid
+    EXPECT_EQ(stats.disk.stores, 1u);          // re-stored: healed
+
+    // The healed entry now verifies and serves from disk again.
+    CompileDaemon d3(topo(), day(0), opts);
+    JobSnapshot again = submitAndWait(d3, circuit);
+    ASSERT_TRUE(again.result.ok);
+    EXPECT_EQ(again.cacheSource, daemon::CacheSource::Disk);
+    EXPECT_EQ(d3.stats().verifiedOnLoad, 1u);
+    EXPECT_EQ(d3.stats().healed, 0u);
+}
+
+TEST(Daemon, VerifyOnLoadCanBeDisabled)
+{
+    ScratchDir scratch("verify-off");
+    DaemonOptions opts = fastOptions();
+    opts.cacheDir = scratch.path.string();
+    opts.verifyOnLoad = false;
+    const Circuit circuit = benchmarkByName("BV4").circuit;
+
+    {
+        CompileDaemon d(topo(), day(0), opts);
+        ASSERT_TRUE(submitAndWait(d, circuit).result.ok);
+    }
+
+    CompileDaemon d2(topo(), day(0), opts);
+    JobSnapshot snap = submitAndWait(d2, circuit);
+    ASSERT_TRUE(snap.result.ok);
+    EXPECT_EQ(snap.cacheSource, daemon::CacheSource::Disk);
+    EXPECT_EQ(d2.stats().verifiedOnLoad, 0u);
 }
 
 // ---------------------------------------------------------------- //

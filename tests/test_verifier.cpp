@@ -1,0 +1,593 @@
+/**
+ * @file
+ * Translation-validator tests: every compiled program the repo can
+ * produce verifies clean (all 8 bundles × three topology families),
+ * every violation class has a dedicated corruption that triggers
+ * exactly it, mutation fuzzing is deterministic under a seeded Rng,
+ * and serdes round-trips verify identically to the original.
+ */
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/compiler.hpp"
+#include "core/portfolio.hpp"
+#include "daemon/program_serdes.hpp"
+#include "machine/calibration_model.hpp"
+#include "support/rng.hpp"
+#include "tests/test_util.hpp"
+#include "verify/mutate.hpp"
+#include "verify/verifier.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace {
+
+using namespace qc;
+
+/** One compiled triple ready for corruption experiments. */
+struct Compiled
+{
+    std::shared_ptr<const Machine> machine;
+    bool routesLive = false;
+    Circuit source;
+    CompiledProgram program;
+};
+
+Compiled
+compileOn(const char *spec, MapperKind kind,
+          const std::string &benchName)
+{
+    const Topology topo = topologyFromSpec(spec);
+    const CalibrationModel model(topo, test::kSeed);
+    Compiled c;
+    c.machine = std::make_shared<const Machine>(topo, model.forDay(0));
+    CompilerOptions opts;
+    opts.mapper = kind;
+    const Pipeline pipeline = standardPipeline(c.machine, opts);
+    c.routesLive = pipeline.routesLive();
+    const Benchmark b = benchmarkByName(benchName);
+    c.source = b.circuit;
+    PipelineResult r = pipeline.run(c.source);
+    EXPECT_TRUE(r.ok()) << r.status.message;
+    c.program = std::move(r.program);
+    return c;
+}
+
+VerifyReport
+verifyProg(const Compiled &c, const CompiledProgram &program)
+{
+    VerifyOptions vopts;
+    vopts.expectRestoredLayout = !c.routesLive;
+    return ProgramVerifier(*c.machine, vopts).verify(c.source,
+                                                     program);
+}
+
+/**
+ * Canonical corruption target: GreedyE* on a 16-qubit ring forces
+ * routing SWAPs (BV8's star interaction graph cannot embed in a
+ * degree-2 ring), so every mutation kind is applicable, and BV8
+ * carries measurements for the coverage checks.
+ */
+const Compiled &
+base()
+{
+    static const Compiled c =
+        compileOn("ring:16", MapperKind::GreedyE, "BV8");
+    return c;
+}
+
+int
+findOp(const CompiledProgram &p, bool (*pred)(const TimedOp &))
+{
+    const auto &ops = p.schedule.ops;
+    for (size_t i = 0; i < ops.size(); ++i)
+        if (pred(ops[i]))
+            return static_cast<int>(i);
+    return -1;
+}
+
+// ---------------------------------------------------------------- //
+// Clean programs verify across every bundle and topology family
+// ---------------------------------------------------------------- //
+
+TEST(Verifier, CleanAcrossAllBundlesAndTopologies)
+{
+    const char *specs[] = {"grid:2x8", "heavyhex:3", "ring:16"};
+    for (const char *spec : specs) {
+        const Topology topo = topologyFromSpec(spec);
+        const CalibrationModel model(topo, test::kSeed);
+        auto machine =
+            std::make_shared<const Machine>(topo, model.forDay(0));
+        const Benchmark b = benchmarkByName("BV4");
+        for (MapperKind kind : kAllMapperKinds) {
+            CompilerOptions opts;
+            opts.mapper = kind;
+            opts.smtTimeoutMs = 2000; // degraded fallbacks verify too
+            const Pipeline pipeline = standardPipeline(machine, opts);
+            const PipelineResult r = pipeline.run(b.circuit);
+            ASSERT_TRUE(r.hasProgram)
+                << spec << " " << mapperKindName(kind) << ": "
+                << r.status.message;
+            VerifyOptions vopts;
+            vopts.expectRestoredLayout = !pipeline.routesLive();
+            const VerifyReport report =
+                ProgramVerifier(*machine, vopts)
+                    .verify(b.circuit, r.program);
+            EXPECT_TRUE(report.ok())
+                << spec << " " << mapperKindName(kind) << "\n"
+                << report.toString();
+            EXPECT_EQ(report.errorCount(), 0);
+        }
+    }
+}
+
+TEST(Verifier, CleanReportCarriesFinalLayoutAndDurationModel)
+{
+    const Compiled &c = base();
+    const VerifyReport report = verifyProg(c, c.program);
+    ASSERT_TRUE(report.ok()) << report.toString();
+    // expandRoute restores every SWAP chain, so the final permutation
+    // is the initial layout.
+    EXPECT_EQ(report.finalLayout, c.program.layout);
+    EXPECT_TRUE(report.durationsChecked == "calibrated" ||
+                report.durationsChecked == "uniform");
+}
+
+// ---------------------------------------------------------------- //
+// One corruption per violation class
+// ---------------------------------------------------------------- //
+
+TEST(Verifier, CatchesLayoutNotInjective)
+{
+    CompiledProgram p = base().program;
+    p.layout[0] = p.layout[1];
+    const VerifyReport report = verifyProg(base(), p);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(VerifyCode::LayoutInvalid));
+    // Replay is meaningless without a layout: it must not run.
+    EXPECT_TRUE(report.finalLayout.empty());
+}
+
+TEST(Verifier, CatchesLayoutOutOfRange)
+{
+    CompiledProgram p = base().program;
+    p.layout[0] = base().machine->numQubits();
+    const VerifyReport report = verifyProg(base(), p);
+    EXPECT_TRUE(report.has(VerifyCode::LayoutInvalid));
+}
+
+TEST(Verifier, CatchesSwapCountDrift)
+{
+    CompiledProgram p = base().program;
+    p.swapCount += 1;
+    const VerifyReport report = verifyProg(base(), p);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(VerifyCode::ScheduleShape));
+}
+
+TEST(Verifier, CatchesOperandOutOfRange)
+{
+    CompiledProgram p = base().program;
+    p.schedule.ops[0].gate.q0 = -3;
+    const VerifyReport report = verifyProg(base(), p);
+    EXPECT_TRUE(report.has(VerifyCode::OpQubitRange));
+}
+
+TEST(Verifier, CatchesOffEdgeTwoQubitOp)
+{
+    CompiledProgram p = base().program;
+    const int i = findOp(
+        p, [](const TimedOp &op) { return op.gate.isTwoQubit(); });
+    ASSERT_GE(i, 0);
+    // Ring of 16: qubits two steps apart are never coupled.
+    Gate &g = p.schedule.ops[static_cast<size_t>(i)].gate;
+    g.q1 = (g.q0 + 2) % 16;
+    const VerifyReport report = verifyProg(base(), p);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(VerifyCode::EdgeMissing));
+}
+
+TEST(Verifier, CatchesDegenerateCalibrationReliability)
+{
+    // Machine construction validates calibrations, so a degenerate
+    // reliability can only reach the verifier through in-memory
+    // corruption — simulate exactly that (white-box) and check the
+    // defense-in-depth path fires instead of dividing by garbage.
+    const Compiled &c = base();
+    Machine broken(c.machine->topo(),
+                   test::uniformCalibration(c.machine->topo()));
+    Calibration &cal = const_cast<Calibration &>(broken.cal());
+    cal.cnotError.assign(cal.cnotError.size(), 1.5); // reliability -0.5
+    const VerifyReport report =
+        ProgramVerifier(broken).verify(c.source, c.program);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(VerifyCode::ReliabilityInvalid));
+}
+
+TEST(Verifier, CatchesDroppedGate)
+{
+    CompiledProgram p = base().program;
+    const int i = findOp(p, [](const TimedOp &op) {
+        return !op.gate.isTwoQubit() && !op.gate.isMeasure();
+    });
+    ASSERT_GE(i, 0);
+    p.schedule.ops.erase(p.schedule.ops.begin() + i);
+    const VerifyReport report = verifyProg(base(), p);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(VerifyCode::GateDropped));
+}
+
+TEST(Verifier, CatchesDuplicatedGate)
+{
+    CompiledProgram p = base().program;
+    const int i = findOp(p, [](const TimedOp &op) {
+        return !op.gate.isTwoQubit() && !op.gate.isMeasure();
+    });
+    ASSERT_GE(i, 0);
+    p.schedule.ops.insert(p.schedule.ops.begin() + i + 1,
+                          p.schedule.ops[static_cast<size_t>(i)]);
+    const VerifyReport report = verifyProg(base(), p);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(VerifyCode::GateDuplicated));
+    // The copy also collides with the original on its qubit.
+    EXPECT_TRUE(report.has(VerifyCode::QubitOverlap));
+}
+
+TEST(Verifier, CatchesForeignGate)
+{
+    CompiledProgram p = base().program;
+    const int i = findOp(p, [](const TimedOp &op) {
+        return !op.gate.isTwoQubit() && !op.gate.isMeasure();
+    });
+    ASSERT_GE(i, 0);
+    // BV circuits contain no Y gates, so this matches no source gate.
+    p.schedule.ops[static_cast<size_t>(i)].gate.op = Op::Y;
+    const VerifyReport report = verifyProg(base(), p);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(VerifyCode::GateMismatch));
+}
+
+TEST(Verifier, CatchesDependencyReordering)
+{
+    CompiledProgram p = base().program;
+    // A measurement hoisted to t=0 runs before the gates feeding it
+    // (skip measures legitimately at t=0: BV data qubits outside the
+    // hidden string carry no gates before their measure).
+    const int i = findOp(p, [](const TimedOp &op) {
+        return op.gate.isMeasure() && op.start > 0;
+    });
+    ASSERT_GE(i, 0);
+    p.schedule.ops[static_cast<size_t>(i)].start = 0;
+    const VerifyReport report = verifyProg(base(), p);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(VerifyCode::DependencyOrder));
+}
+
+TEST(Verifier, CatchesMissingMeasurement)
+{
+    CompiledProgram p = base().program;
+    const int i = findOp(
+        p, [](const TimedOp &op) { return op.gate.isMeasure(); });
+    ASSERT_GE(i, 0);
+    p.schedule.ops.erase(p.schedule.ops.begin() + i);
+    const VerifyReport report = verifyProg(base(), p);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(VerifyCode::MeasureMissing));
+}
+
+TEST(Verifier, CatchesRetargetedMeasurement)
+{
+    CompiledProgram p = base().program;
+    const int i = findOp(
+        p, [](const TimedOp &op) { return op.gate.isMeasure(); });
+    ASSERT_GE(i, 0);
+    p.schedule.ops[static_cast<size_t>(i)].gate.cbit += 1;
+    const VerifyReport report = verifyProg(base(), p);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(VerifyCode::MeasureMismatch));
+}
+
+TEST(Verifier, CatchesUnannotatedRouteSwap)
+{
+    CompiledProgram p = base().program;
+    ASSERT_GT(p.swapCount, 0) << "base program must need routing";
+    const int i = findOp(
+        p, [](const TimedOp &op) { return op.isRouteSwap; });
+    ASSERT_GE(i, 0);
+    // Claim the SWAP is a program gate: BV has no source SWAPs.
+    p.schedule.ops[static_cast<size_t>(i)].isRouteSwap = false;
+    const VerifyReport report = verifyProg(base(), p);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(VerifyCode::SwapAnnotation));
+}
+
+TEST(Verifier, CatchesUnrestoredFinalPermutation)
+{
+    // Live-tracking routing lets the layout drift; the same program
+    // must verify clean normally and fail under expectRestoredLayout.
+    const Compiled c =
+        compileOn("ring:16", MapperKind::GreedyETrack, "BV8");
+    ASSERT_TRUE(c.routesLive);
+    VerifyOptions relaxed;
+    const VerifyReport clean =
+        ProgramVerifier(*c.machine, relaxed).verify(c.source,
+                                                    c.program);
+    ASSERT_TRUE(clean.ok()) << clean.toString();
+    ASSERT_NE(clean.finalLayout, c.program.layout)
+        << "expected the tracked layout to drift on a ring";
+    VerifyOptions strict;
+    strict.expectRestoredLayout = true;
+    const VerifyReport report =
+        ProgramVerifier(*c.machine, strict).verify(c.source,
+                                                   c.program);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(VerifyCode::FinalPermutation));
+}
+
+TEST(Verifier, FlagsBrokenProvenanceAsWarningOnly)
+{
+    CompiledProgram p = base().program;
+    const int i = findOp(p, [](const TimedOp &op) {
+        return !op.gate.isTwoQubit() && !op.gate.isMeasure();
+    });
+    ASSERT_GE(i, 0);
+    p.schedule.ops[static_cast<size_t>(i)].progGate =
+        static_cast<int>(base().source.size()) + 5;
+    const VerifyReport report = verifyProg(base(), p);
+    // Provenance is advisory: the program is still faithful.
+    EXPECT_TRUE(report.ok()) << report.toString();
+    EXPECT_TRUE(report.has(VerifyCode::Provenance));
+    EXPECT_GE(report.warningCount(), 1);
+}
+
+TEST(Verifier, CatchesQubitOverlap)
+{
+    CompiledProgram p = base().program;
+    auto &ops = p.schedule.ops;
+    // Find two ops sharing a qubit and slide the later one onto the
+    // earlier one's window.
+    for (size_t i = 0; i + 1 < ops.size(); ++i) {
+        for (size_t j = i + 1; j < ops.size(); ++j) {
+            if (!ops[j].gate.touches(ops[i].gate.q0) ||
+                ops[j].start < ops[i].finish())
+                continue;
+            ops[j].start = ops[i].start;
+            const VerifyReport report = verifyProg(base(), p);
+            EXPECT_FALSE(report.ok());
+            EXPECT_TRUE(report.has(VerifyCode::QubitOverlap));
+            return;
+        }
+    }
+    FAIL() << "no same-qubit op pair found";
+}
+
+TEST(Verifier, CatchesMacroReservationOverlap)
+{
+    CompiledProgram p = base().program;
+    auto &macros = p.schedule.macros;
+    ASSERT_FALSE(macros.empty());
+    // Stretch the last macro's window back to t=0: its ops stay
+    // inside the (grown) window, but the reservation now collides
+    // with every earlier macro on its qubits.
+    MacroTiming &m = macros.back();
+    ASSERT_GT(m.start, 0);
+    m.duration += m.start;
+    m.start = 0;
+    const VerifyReport report = verifyProg(base(), p);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(VerifyCode::MacroOverlap));
+    EXPECT_FALSE(report.has(VerifyCode::MacroWindow));
+}
+
+TEST(Verifier, CatchesOpEscapingItsMacroWindow)
+{
+    CompiledProgram p = base().program;
+    TimedOp &op = p.schedule.ops[0];
+    op.start += p.schedule.makespan + 1;
+    const VerifyReport report = verifyProg(base(), p);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(VerifyCode::MacroWindow));
+    EXPECT_TRUE(report.has(VerifyCode::MakespanMismatch));
+}
+
+TEST(Verifier, CatchesDurationModelViolation)
+{
+    CompiledProgram p = base().program;
+    // Stretch the op that finishes last: no overlap is created, so
+    // the duration-model check itself must fire.
+    auto &ops = p.schedule.ops;
+    size_t last = 0;
+    for (size_t i = 1; i < ops.size(); ++i)
+        if (ops[i].finish() > ops[last].finish())
+            last = i;
+    ops[last].duration += 3;
+    const VerifyReport report = verifyProg(base(), p);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(VerifyCode::DurationModel));
+}
+
+TEST(Verifier, CatchesMakespanDrift)
+{
+    CompiledProgram p = base().program;
+    p.schedule.makespan += 7;
+    const VerifyReport report = verifyProg(base(), p);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(VerifyCode::MakespanMismatch));
+}
+
+TEST(Verifier, CatchesStaleQubitFinishTable)
+{
+    CompiledProgram p = base().program;
+    p.schedule.qubitFinish[0] += 5;
+    const VerifyReport report = verifyProg(base(), p);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(report.has(VerifyCode::QubitFinishMismatch));
+}
+
+// ---------------------------------------------------------------- //
+// Mutation harness: coverage and determinism
+// ---------------------------------------------------------------- //
+
+TEST(Verifier, EveryMutationKindIsCaught)
+{
+    const Compiled &c = base();
+    for (MutationKind mk : kAllMutationKinds) {
+        CompiledProgram corrupted = c.program;
+        Rng rng(test::kSeed, mutationKindName(mk));
+        if (!applyMutation(corrupted, *c.machine, mk, rng))
+            continue; // inapplicable to this program shape
+        const VerifyReport report = verifyProg(c, corrupted);
+        EXPECT_FALSE(report.ok())
+            << mutationKindName(mk) << " escaped the verifier";
+    }
+}
+
+TEST(Verifier, MutationsAreDeterministicUnderSeededRng)
+{
+    const Compiled &c = base();
+    for (MutationKind mk : kAllMutationKinds) {
+        CompiledProgram a = c.program;
+        CompiledProgram b = c.program;
+        Rng ra(test::kSeed, mutationKindName(mk));
+        Rng rb(test::kSeed, mutationKindName(mk));
+        const bool appliedA = applyMutation(a, *c.machine, mk, ra);
+        const bool appliedB = applyMutation(b, *c.machine, mk, rb);
+        ASSERT_EQ(appliedA, appliedB) << mutationKindName(mk);
+        if (!appliedA)
+            continue;
+        EXPECT_TRUE(a.schedule.identicalTo(b.schedule))
+            << mutationKindName(mk);
+        EXPECT_EQ(a.layout, b.layout);
+        // Identical corruption ⇒ character-identical lint report.
+        EXPECT_EQ(verifyProg(c, a).toString(),
+                  verifyProg(c, b).toString())
+            << mutationKindName(mk);
+    }
+}
+
+TEST(Verifier, MutationKindNamesRoundTrip)
+{
+    for (MutationKind mk : kAllMutationKinds)
+        EXPECT_EQ(mutationKindFromName(mutationKindName(mk)), mk);
+    EXPECT_THROW(mutationKindFromName("no-such-mutation"),
+                 FatalError);
+}
+
+// ---------------------------------------------------------------- //
+// Serdes round-trip and pipeline/portfolio integration
+// ---------------------------------------------------------------- //
+
+TEST(Verifier, SerdesRoundTripVerifiesIdentically)
+{
+    const Compiled &c = base();
+    const std::string bytes =
+        daemon::serializeCompiledProgram(c.program);
+    CompiledProgram restored;
+    ASSERT_TRUE(daemon::deserializeCompiledProgram(bytes, restored));
+    const VerifyReport before = verifyProg(c, c.program);
+    const VerifyReport after = verifyProg(c, restored);
+    EXPECT_TRUE(after.ok()) << after.toString();
+    EXPECT_EQ(before.toString(), after.toString());
+    EXPECT_EQ(before.finalLayout, after.finalLayout);
+}
+
+TEST(Verifier, PipelineWithVerificationOnPassesCleanPrograms)
+{
+    const Topology topo = topologyFromSpec("grid:2x8");
+    const CalibrationModel model(topo, test::kSeed);
+    auto machine =
+        std::make_shared<const Machine>(topo, model.forDay(0));
+    CompilerOptions opts;
+    opts.mapper = MapperKind::GreedyE;
+    opts.verify = true;
+    const Pipeline pipeline = standardPipeline(machine, opts);
+    EXPECT_TRUE(pipeline.verifies());
+    const PipelineResult r =
+        pipeline.run(benchmarkByName("BV4").circuit);
+    EXPECT_TRUE(r.ok()) << r.status.message;
+    // A clean verification leaves no trace entry (trace shapes are
+    // part of the stage contract other tests pin down).
+    for (const StageTrace &t : r.program.stageTraces)
+        EXPECT_NE(t.stage, "verification");
+}
+
+TEST(Verifier, PortfolioWinnersVerifyClean)
+{
+    const Topology topo = topologyFromSpec("grid:2x8");
+    const CalibrationModel model(topo, test::kSeed);
+    auto machine =
+        std::make_shared<const Machine>(topo, model.forDay(0));
+    CompilerOptions opts;
+    opts.portfolio.enabled = true;
+    opts.portfolio.bundles = {MapperKind::Qiskit, MapperKind::GreedyE,
+                              MapperKind::GreedyETrack};
+    const PortfolioPass pass(machine, opts);
+    const PortfolioResult r =
+        pass.run(benchmarkByName("BV4").circuit);
+    ASSERT_TRUE(r.ok()) << r.best.status.message;
+    EXPECT_EQ(r.verifyRejectedCount, 0);
+    for (const PortfolioCandidate &c : r.candidates)
+        EXPECT_FALSE(c.verifyRejected);
+}
+
+// ---------------------------------------------------------------- //
+// Default-enable policy
+// ---------------------------------------------------------------- //
+
+TEST(Verifier, DefaultEnableRespectsEnvironment)
+{
+    const char *saved = std::getenv("QC_VERIFY");
+    const std::string savedValue = saved ? saved : "";
+
+    ::setenv("QC_VERIFY", "1", 1);
+    EXPECT_TRUE(defaultVerifyEnabled());
+    ::setenv("QC_VERIFY", "on", 1);
+    EXPECT_TRUE(defaultVerifyEnabled());
+    ::setenv("QC_VERIFY", "0", 1);
+    EXPECT_FALSE(defaultVerifyEnabled());
+    ::setenv("QC_VERIFY", "OFF", 1);
+    EXPECT_FALSE(defaultVerifyEnabled());
+    ::setenv("QC_VERIFY", "false", 1);
+    EXPECT_FALSE(defaultVerifyEnabled());
+
+    ::unsetenv("QC_VERIFY");
+#ifdef NDEBUG
+    EXPECT_FALSE(defaultVerifyEnabled());
+#else
+    EXPECT_TRUE(defaultVerifyEnabled());
+#endif
+
+    if (saved)
+        ::setenv("QC_VERIFY", savedValue.c_str(), 1);
+}
+
+// ---------------------------------------------------------------- //
+// Lint-report surface
+// ---------------------------------------------------------------- //
+
+TEST(Verifier, IssueAndReportFormatting)
+{
+    VerifyIssue issue;
+    issue.severity = VerifySeverity::Error;
+    issue.code = VerifyCode::EdgeMissing;
+    issue.opIndex = 12;
+    issue.detail = "cx q0, q9: not coupled";
+    EXPECT_EQ(issue.toString(),
+              "error[edge-missing] op 12: cx q0, q9: not coupled");
+
+    VerifyReport report;
+    report.issues.push_back(issue);
+    EXPECT_FALSE(report.ok());
+    EXPECT_EQ(report.errorCount(), 1);
+    EXPECT_EQ(report.warningCount(), 0);
+    EXPECT_TRUE(report.has(VerifyCode::EdgeMissing));
+    EXPECT_FALSE(report.has(VerifyCode::GateDropped));
+    EXPECT_NE(report.toString().find("verify: 1 error(s)"),
+              std::string::npos);
+}
+
+} // namespace

@@ -140,6 +140,10 @@ done
     || fail "only $RESTART_DISK_HITS/12 restart jobs hit the disk cache"
 CORRUPT=$(stat_counter disk_corrupt)
 [ "${CORRUPT:-0}" = "0" ] || fail "corrupt cache entries: $CORRUPT"
+# Every restart disk hit must have passed the translation validator,
+# and none may have needed healing (the cache directory is healthy).
+VERIFIED=$(stat_counter disk_verified)
+HEALED=$(stat_counter disk_healed)
 
 "$CLIENT" --socket "$SOCK" shutdown > /dev/null 2>&1 \
     || fail "final shutdown request"
@@ -158,6 +162,8 @@ cat > "$OUT_JSON" <<EOF
         "identical_day1_count": $IDENTICAL_D1,
         "restart_disk_hit_count": $RESTART_DISK_HITS,
         "disk_store_count": ${STORES:-0},
+        "verified_on_load_count": ${VERIFIED:-0},
+        "healed_count": ${HEALED:-0},
         "failure_count": $FAILURES
       }
     }

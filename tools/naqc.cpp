@@ -41,7 +41,10 @@
 #include "sim/executor.hpp"
 #include "support/cli.hpp"
 #include "support/logging.hpp"
+#include "support/rng.hpp"
 #include "support/table.hpp"
+#include "verify/mutate.hpp"
+#include "verify/verifier.hpp"
 #include "workloads/benchmarks.hpp"
 
 namespace {
@@ -50,6 +53,9 @@ using namespace qc;
 
 /** Exit code of a SIGINT-interrupted batch (128 + SIGINT). */
 constexpr int kInterruptedExit = 130;
+
+/** Exit code of --verify / --verify-mutate on a rejected program. */
+constexpr int kVerifyFailedExit = 4;
 
 volatile std::sig_atomic_t g_interrupted = 0;
 
@@ -84,6 +90,8 @@ struct CliOptions
     unsigned portfolioDeadlineMs = 10'000;
     bool report = false;
     bool trace = false;
+    bool verify = false;          ///< exit 4 on validation failure
+    std::string verifyMutate;     ///< mutation kind to inject, if any
     bool help = false;
 
     bool batchMode() const { return jobs > 0 || days > 1; }
@@ -143,6 +151,20 @@ printUsage(std::ostream &os)
           "and exit\n"
           "  --dump-benchmark N   write a Table 2 benchmark as "
           "OpenQASM and exit\n"
+          "  --verify             run the translation validator on "
+          "the compiled\n"
+          "                       program; exit 4 with a lint report "
+          "on violation\n"
+          "  --verify-mutate K    corrupt the compiled program with "
+          "mutation K and\n"
+          "                       verify it (verifier demo/oracle; "
+          "exit 4 expected;\n"
+          "                       kinds: off-edge-gate, "
+          "shift-start-time, drop-swap,\n"
+          "                       duplicate-op, drop-gate, "
+          "retarget-measure,\n"
+          "                       corrupt-makespan, corrupt-layout, "
+          "stretch-duration)\n"
           "  --report             print mapping/reliability report to "
           "stderr\n"
           "  --trace              print the per-stage timing table "
@@ -239,6 +261,16 @@ parseArgs(int argc, char **argv)
             opts.report = true;
         } else if (arg == "--trace") {
             opts.trace = true;
+        } else if (arg == "--verify") {
+            opts.verify = true;
+        } else if (arg == "--verify-mutate") {
+            opts.verifyMutate = need(i, "--verify-mutate");
+            // Validate now so a typo exits 2 before any compilation.
+            try {
+                mutationKindFromName(opts.verifyMutate);
+            } catch (const FatalError &e) {
+                throw cli::UsageError(e.what());
+            }
         } else if (arg == "--help" || arg == "-h") {
             opts.help = true;
         } else {
@@ -279,6 +311,7 @@ compilerOptionsFromCli(const CliOptions &opts)
     copts.smtTimeoutMs = opts.timeoutMs;
     copts.sabreIterations = opts.sabreIterations;
     copts.sabreLookahead = opts.sabreLookahead;
+    copts.verify = opts.verify;
     if (opts.portfolio) {
         copts.portfolio.enabled = true;
         copts.portfolio.deadlineMs = opts.portfolioDeadlineMs;
@@ -367,6 +400,9 @@ runBatch(const CliOptions &opts)
     if (opts.simulateTrials > 0 || !opts.expected.empty())
         QC_FATAL("--simulate/--expected only work for single "
                  "compiles, not batch mode");
+    if (!opts.verifyMutate.empty())
+        QC_FATAL("--verify-mutate only works for single compiles, "
+                 "not batch mode");
     if (opts.report)
         QC_FATAL("batch mode always prints its report; --report only "
                  "applies to single compiles");
@@ -547,11 +583,41 @@ runCli(const CliOptions &opts)
                   << "': " << result.status.message << "\n";
         return 1;
     }
+    if (result.status.code == CompileStatusCode::VerifyFailed) {
+        // The lint report is the status message (one issue per line).
+        std::cerr << "naqc: verification failed for '" << prog.name()
+                  << "' [" << result.program.mapperName << "]\n"
+                  << result.status.message << "\n";
+        return kVerifyFailedExit;
+    }
     if (!result.status.ok())
         std::cerr << "naqc: degraded result ["
                   << compileStatusCodeName(result.status.code)
                   << "]: " << result.status.message << "\n";
     CompiledProgram compiled = std::move(result.program);
+
+    if (!opts.verifyMutate.empty()) {
+        // Verifier demo/oracle: corrupt the (valid, already verified
+        // when --verify is on) program and re-verify. Exit 4 proves
+        // the exit-code contract on a corrupted program; a mutation
+        // the verifier misses is a blind spot and exits 1.
+        const MutationKind kind =
+            mutationKindFromName(opts.verifyMutate);
+        Rng rng(opts.seed, "verify-mutate");
+        if (!applyMutation(compiled, *machine, kind, rng))
+            QC_FATAL("mutation '", opts.verifyMutate,
+                     "' does not apply to this program (nothing to "
+                     "corrupt)");
+        const VerifyReport report =
+            ProgramVerifier(*machine).verify(prog, compiled);
+        std::cerr << "naqc: injected mutation '" << opts.verifyMutate
+                  << "'\n"
+                  << report.toString() << "\n";
+        if (!report.ok())
+            return kVerifyFailedExit;
+        std::cerr << "naqc: mutation escaped the verifier\n";
+        return 1;
+    }
 
     std::string qasm = emitQasm(compiled.hwCircuit(prog.numClbits()));
     if (opts.outPath.empty()) {

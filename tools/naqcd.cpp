@@ -248,6 +248,8 @@ statsLine(const daemon::DaemonStats &s)
         << " disk_loads=" << s.disk.loads
         << " disk_stores=" << s.disk.stores
         << " disk_corrupt=" << s.disk.corruptRejected
+        << " disk_verified=" << s.verifiedOnLoad
+        << " disk_healed=" << s.healed
         << " disk_entries=" << s.diskEntries
         << " warm_recompiles=" << s.warmRecompiles;
     return oss.str();
